@@ -1,0 +1,17 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+simulations are deterministic, so a single round suffices; what
+pytest-benchmark measures is the (real) cost of running the simulation,
+while the *reproduced numbers* are printed and asserted against the
+paper's bands.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

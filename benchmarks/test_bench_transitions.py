@@ -1,0 +1,27 @@
+"""§2.3.1 — enclave transition cost per mitigation level.
+
+Paper: one EENTER+EEXIT round-trip costs ≈2,130 ns unpatched, ≈3,850 ns
+with the Spectre fixes (≈1.74×) and ≈4,890 ns with the L1TF microcode
+(≈2.24×).
+"""
+
+from conftest import run_once
+
+from repro.bench import run_transition_experiment
+from repro.sgx.constants import PatchLevel
+
+
+def test_transition_costs(benchmark):
+    result = run_once(benchmark, run_transition_experiment, calls=500)
+    print()
+    print(result.render())
+    by_level = {row.patch_level: row for row in result.rows}
+    assert by_level[PatchLevel.BASELINE].round_trip_ns == 2_130
+    assert by_level[PatchLevel.SPECTRE].round_trip_ns == 3_850
+    assert by_level[PatchLevel.L1TF].round_trip_ns == 4_890
+    # The paper's ratios: 1.74x and 2.24x over baseline.
+    assert abs(by_level[PatchLevel.SPECTRE].vs_baseline - 1.81) < 0.15
+    assert abs(by_level[PatchLevel.L1TF].vs_baseline - 2.30) < 0.15
+    # Empty-ecall cost grows strictly with the mitigation level.
+    ecall_costs = [by_level[level].empty_ecall_ns for level in PatchLevel]
+    assert ecall_costs == sorted(ecall_costs)

@@ -1,0 +1,192 @@
+"""Table 2: overhead of the event logger.
+
+Three experiments, each with and without the logger:
+
+1. a single empty ecall, executed n times —
+   paper: 4,205 ns native, 5,572 ns logged (≈ +1,366 ns);
+2. an ecall performing one empty ocall —
+   paper: 8,013 ns native, 10,699 ns logged (≈ +2,686 ns total,
+   ≈ +1,320 ns attributable to the ocall);
+3. a long ecall (a k-iteration empty loop) under AEX *counting* and AEX
+   *tracing* — paper: 45,377 µs per call, ≈11.5 AEXs,
+   ≈ +1,076 ns per counted AEX and ≈ +1,118 ns per traced AEX.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.perf.logger import AexMode, EventLogger
+from repro.sdk.edger8r import build_enclave
+from repro.sdk.urts import Urts
+from repro.sgx.device import SgxDevice
+from repro.sgx.enclave import EnclaveConfig
+from repro.sim.process import SimProcess
+
+# One loop iteration of the paper's long ecall ("a loop ... doing nothing"),
+# calibrated so k = 1,000,000 iterations last ≈45.3 ms.
+LOOP_ITERATION_NS = 45.3
+
+_EDL = """
+enclave {
+    trusted {
+        public int ecall_empty(void);
+        public int ecall_with_ocall(void);
+        public int ecall_long(size_t iterations);
+    };
+    untrusted { void ocall_empty(void); };
+};
+"""
+
+
+@dataclass
+class Table2Result:
+    """All Table 2 cells (times in ns unless noted)."""
+
+    native_single_ns: float
+    logged_single_ns: float
+    native_ocall_ns: float
+    logged_ocall_ns: float
+    long_logged_us: float
+    long_counting_us: float
+    long_tracing_us: float
+    aex_per_call_counting: float
+    aex_per_call_tracing: float
+
+    @property
+    def single_overhead_ns(self) -> float:
+        """Logger overhead per ecall (paper: ≈1,366 ns)."""
+        return self.logged_single_ns - self.native_single_ns
+
+    @property
+    def ocall_only_overhead_ns(self) -> float:
+        """Logger overhead per ocall (paper: ≈1,320 ns)."""
+        return (self.logged_ocall_ns - self.native_ocall_ns) - self.single_overhead_ns
+
+    @property
+    def counting_overhead_per_aex_ns(self) -> float:
+        """AEX-counting overhead per AEX (paper: ≈1,076 ns)."""
+        delta_us = self.long_counting_us - self.long_logged_us
+        return delta_us * 1000.0 / max(self.aex_per_call_counting, 1e-9)
+
+    @property
+    def tracing_overhead_per_aex_ns(self) -> float:
+        """AEX-tracing overhead per AEX (paper: ≈1,118 ns)."""
+        delta_us = self.long_tracing_us - self.long_logged_us
+        return delta_us * 1000.0 / max(self.aex_per_call_tracing, 1e-9)
+
+    def render(self) -> str:
+        return "\n".join(
+            [
+                "Table 2 - logger overhead (paper values in parentheses)",
+                f"(1) single ecall:   native {self.native_single_ns:7.0f} ns (4,205)   "
+                f"logged {self.logged_single_ns:7.0f} ns (5,572)   "
+                f"overhead {self.single_overhead_ns:6.0f} ns (~1,366)",
+                f"(2) ecall + ocall:  native {self.native_ocall_ns:7.0f} ns (8,013)   "
+                f"logged {self.logged_ocall_ns:7.0f} ns (10,699)  "
+                f"ocall-only {self.ocall_only_overhead_ns:6.0f} ns (~1,320)",
+                f"(3) long ecall:     logged {self.long_logged_us:9.0f} us (45,377)  "
+                f"counting {self.long_counting_us:9.0f} us (45,390)  "
+                f"tracing {self.long_tracing_us:9.0f} us (45,390)",
+                f"    AEX/call: counting {self.aex_per_call_counting:.2f} (11.51)  "
+                f"tracing {self.aex_per_call_tracing:.2f} (11.56)",
+                f"    per-AEX overhead: counting {self.counting_overhead_per_aex_ns:5.0f} ns "
+                f"(~1,076)   tracing {self.tracing_overhead_per_aex_ns:5.0f} ns (~1,118)",
+            ]
+        )
+
+
+def _fresh_app(seed: int, logger_mode: Optional[AexMode]):
+    process = SimProcess(seed=seed)
+    device = SgxDevice(process.sim)
+    urts = Urts(process, device)
+
+    def ecall_empty(ctx):
+        return 0
+
+    def ecall_with_ocall(ctx):
+        ctx.ocall("ocall_empty")
+        return 0
+
+    def ecall_long(ctx, iterations):
+        ctx.compute(int(iterations * LOOP_ITERATION_NS))
+        return 0
+
+    handle = build_enclave(
+        urts,
+        _EDL,
+        {
+            "ecall_empty": ecall_empty,
+            "ecall_with_ocall": ecall_with_ocall,
+            "ecall_long": ecall_long,
+        },
+        {"ocall_empty": lambda uctx: None},
+        config=EnclaveConfig(heap_bytes=64 * 1024),
+    )
+    logger = None
+    if logger_mode is not None:
+        logger = EventLogger(process, urts, aex_mode=logger_mode)
+        logger.install()
+    return process, handle, logger
+
+
+def _mean_call_ns(seed: int, ecall: str, calls: int, mode: Optional[AexMode], warmup: int):
+    process, handle, logger = _fresh_app(seed, mode)
+    for _ in range(warmup):
+        handle.ecall(ecall) if ecall != "ecall_long" else handle.ecall(ecall, 1000)
+    start = process.sim.now_ns
+    aex_before = _total_aex(logger)
+    for _ in range(calls):
+        if ecall == "ecall_long":
+            handle.ecall(ecall, 1_000_000)
+        else:
+            handle.ecall(ecall)
+    elapsed = process.sim.now_ns - start
+    aex_count = _total_aex(logger) - aex_before
+    if logger is not None:
+        logger.uninstall()
+        logger.finalize()
+    return elapsed / calls, aex_count / calls
+
+
+def _total_aex(logger: Optional[EventLogger]) -> int:
+    if logger is None or logger.db is None:
+        return 0
+    rows = logger.db.execute("SELECT COALESCE(SUM(aex_count), 0) FROM calls")
+    buffered = sum(r[8] for r in logger.db._calls)  # not yet flushed rows
+    return int(rows[0][0]) + buffered
+
+
+def run_table2(
+    calls: int = 2_000,
+    long_calls: int = 40,
+    seed: int = 0,
+) -> Table2Result:
+    """Run all three Table 2 experiments.
+
+    ``calls`` replaces the paper's n = 1,000,000 (per-call statistics do
+    not depend on n beyond variance in the deterministic model).
+    """
+    native_single, _ = _mean_call_ns(seed, "ecall_empty", calls, None, warmup=100)
+    logged_single, _ = _mean_call_ns(seed, "ecall_empty", calls, AexMode.OFF, warmup=100)
+    native_ocall, _ = _mean_call_ns(seed, "ecall_with_ocall", calls, None, warmup=100)
+    logged_ocall, _ = _mean_call_ns(seed, "ecall_with_ocall", calls, AexMode.OFF, warmup=100)
+    long_logged, _ = _mean_call_ns(seed, "ecall_long", long_calls, AexMode.OFF, warmup=2)
+    long_counting, aex_counting = _mean_call_ns(
+        seed, "ecall_long", long_calls, AexMode.COUNT, warmup=2
+    )
+    long_tracing, aex_tracing = _mean_call_ns(
+        seed, "ecall_long", long_calls, AexMode.TRACE, warmup=2
+    )
+    return Table2Result(
+        native_single_ns=native_single,
+        logged_single_ns=logged_single,
+        native_ocall_ns=native_ocall,
+        logged_ocall_ns=logged_ocall,
+        long_logged_us=long_logged / 1000.0,
+        long_counting_us=long_counting / 1000.0,
+        long_tracing_us=long_tracing / 1000.0,
+        aex_per_call_counting=aex_counting,
+        aex_per_call_tracing=aex_tracing,
+    )

@@ -1,0 +1,49 @@
+"""sgx-perf: the paper's contribution.
+
+Three cooperating tools (paper §4):
+
+* :class:`EventLogger` — LD_PRELOAD-style tracer of ecalls, ocalls, AEXs,
+  sync events and EPC paging, serialising to SQLite;
+* :class:`WorkingSetEstimator` — page-permission-stripping access counter;
+* :class:`Analyzer` — statistics, anti-pattern detectors (SISC/SDSC/SNC/
+  SSC/paging), interface security hints, call graphs and reports.
+"""
+
+from repro.perf.analysis import AnalysisReport, Analyzer, AnalyzerWeights, Finding, Problem, Recommendation
+from repro.perf.database import TraceDatabase
+from repro.perf.events import (
+    AexEvent,
+    CallEvent,
+    ECALL,
+    EnclaveRecord,
+    OCALL,
+    PagingRecord,
+    SyncEvent,
+    SyncKind,
+    ThreadRecord,
+)
+from repro.perf.logger import AexMode, EventLogger
+from repro.perf.workingset import WorkingSetEstimator, WorkingSetReport
+
+__all__ = [
+    "AexEvent",
+    "AexMode",
+    "AnalysisReport",
+    "Analyzer",
+    "AnalyzerWeights",
+    "CallEvent",
+    "ECALL",
+    "EnclaveRecord",
+    "EventLogger",
+    "Finding",
+    "OCALL",
+    "PagingRecord",
+    "Problem",
+    "Recommendation",
+    "SyncEvent",
+    "SyncKind",
+    "ThreadRecord",
+    "TraceDatabase",
+    "WorkingSetEstimator",
+    "WorkingSetReport",
+]

@@ -1,0 +1,94 @@
+"""Call graphs of ecall/ocall dependencies (paper §4.3.1, Figure 5).
+
+Nodes are calls ("[id] name", square for ecalls, round for ocalls); solid
+edges connect direct parents to children, dashed edges connect indirect
+parents; edge labels carry call counts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import networkx as nx
+
+from repro.perf.analysis import parents as parents_mod
+from repro.perf.events import CallEvent, ECALL
+
+DIRECT = "direct"
+INDIRECT = "indirect"
+
+
+def build_call_graph(calls: Sequence[CallEvent]) -> nx.MultiDiGraph:
+    """Aggregate per-event parent relations into a name-level graph."""
+    graph = nx.MultiDiGraph()
+    by_id = parents_mod.index_by_id(calls)
+    indirect = parents_mod.compute_indirect_parents(calls)
+
+    def node_key(event: CallEvent) -> str:
+        return f"{event.kind}:{event.name}"
+
+    def ensure_node(event: CallEvent) -> str:
+        key = node_key(event)
+        if key not in graph:
+            graph.add_node(
+                key,
+                name=event.name,
+                kind=event.kind,
+                call_index=event.call_index,
+                count=0,
+            )
+        return key
+
+    def bump_edge(src: str, dst: str, relation: str) -> None:
+        data = graph.get_edge_data(src, dst, key=relation)
+        if data is None:
+            graph.add_edge(src, dst, key=relation, relation=relation, count=1)
+        else:
+            data["count"] += 1
+
+    for event in calls:
+        key = ensure_node(event)
+        graph.nodes[key]["count"] += 1
+        if event.parent_id is not None and event.parent_id in by_id:
+            parent = by_id[event.parent_id]
+            bump_edge(ensure_node(parent), key, DIRECT)
+        parent_id = indirect.get(event.event_id)
+        if parent_id is not None and parent_id in by_id:
+            parent = by_id[parent_id]
+            bump_edge(ensure_node(parent), key, INDIRECT)
+    return graph
+
+
+def to_dot(graph: nx.MultiDiGraph) -> str:
+    """Render the call graph as Graphviz DOT, in the paper's style.
+
+    Square nodes are ecalls, round nodes are ocalls; solid arrows are
+    direct-parent edges, dashed arrows indirect-parent edges; numbers on
+    edges are call counts, numbers in node brackets are call identifiers.
+    """
+    lines = ["digraph enclave_calls {", "    rankdir=TB;"]
+    ids = {key: i for i, key in enumerate(sorted(graph.nodes))}
+    for key in sorted(graph.nodes):
+        data = graph.nodes[key]
+        shape = "box" if data["kind"] == ECALL else "ellipse"
+        label = f"[{data['call_index']}] {data['name']}"
+        lines.append(f'    n{ids[key]} [shape={shape}, label="{label}"];')
+    for src, dst, edge_key, data in sorted(graph.edges(keys=True, data=True)):
+        style = "solid" if data["relation"] == DIRECT else "dashed"
+        lines.append(
+            f'    n{ids[src]} -> n{ids[dst]} '
+            f'[style={style}, label="{data["count"]}"];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def edge_counts(graph: nx.MultiDiGraph, relation: str = DIRECT) -> dict[tuple[str, str], int]:
+    """(parent name, child name) → count for one relation kind."""
+    result: dict[tuple[str, str], int] = {}
+    for src, dst, edge_key, data in graph.edges(keys=True, data=True):
+        if data["relation"] == relation:
+            src_name = graph.nodes[src]["name"]
+            dst_name = graph.nodes[dst]["name"]
+            result[(src_name, dst_name)] = data["count"]
+    return result

@@ -1,0 +1,425 @@
+"""Performance anti-pattern detectors (paper §3, §4.3.2).
+
+Implements the paper's detection equations with its default weights:
+
+* **Equation 1** (moving/duplication — SISC/SDSC/SNC solutions):
+  ``C1/CΣ ≥ α ∨ C5/CΣ ≥ β ∨ C10/CΣ ≥ γ`` with α=0.35, β=0.50, γ=0.65,
+  over *execution* times (transition subtracted for ecalls).
+* **Equation 2** (reordering — SNC solution):
+  ``(Cs10/CΣ)·α + (Cs20/CΣ)·β ≥ γ`` with α=1.00, β=0.75, γ=0.50 for calls
+  clustered at the start of their direct parent, symmetrically at the end.
+* **Equation 3** (merging/batching — SISC/SDSC solutions):
+  ``PΣ/CΣ ≥ λ ∧ (P1/PΣ)·α + (P5/PΣ)·β + (P10/PΣ)·γ + (P20/PΣ)·δ ≥ ε``
+  with α=1.00, β=0.75, γ=0.50, δ=ε=λ=0.35 over gaps to indirect parents;
+  batching is the special case of a call being its own indirect parent.
+* **SSC** (short synchronisation calls, §3.4): frequent sync ocalls whose
+  sleeps are short → hybrid spin-then-sleep locks / lock-free structures.
+* **Paging** (§3.5): any EPC traffic during the trace, correlated with the
+  ecalls it interrupted.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.perf.analysis import parents as parents_mod
+from repro.perf.analysis import stats as stats_mod
+from repro.perf.events import CallEvent, ECALL, OCALL, PagingRecord, SyncEvent, SyncKind
+
+
+class Problem(enum.Enum):
+    """The paper's problem taxonomy (Table 1)."""
+
+    SISC = "short identical successive calls"
+    SDSC = "short different successive calls"
+    SNC = "short nested calls"
+    SSC = "short synchronisation calls"
+    PAGING = "paging"
+    INTERFACE = "permissive enclave interface"
+
+
+class Recommendation(enum.Enum):
+    """Mitigations the analyser can suggest (Table 1)."""
+
+    BATCH = "batch successive calls into one"
+    MERGE = "merge the successive calls into a single call"
+    MOVE_IN = "move the caller inside the enclave"
+    MOVE_OUT = "move the caller outside the enclave (needs security review)"
+    REORDER = "reorder the call to before/after its parent"
+    DUPLICATE = "duplicate the ocall's functionality inside the enclave"
+    HYBRID_SYNC = "use hybrid spin-then-sleep locks or lock-free structures"
+    REDUCE_MEMORY = "reduce enclave memory usage / load data in chunks"
+    PRELOAD_PAGES = "pre-load needed pages before issuing the ecall"
+    ALTERNATIVE_PAGING = "use application-level paging instead of SGX paging"
+    MAKE_PRIVATE = "declare the ecall private"
+    NARROW_ALLOWLIST = "remove unused ecalls from the ocall's allow list"
+    CHECK_POINTERS = "audit the user_check pointer handling"
+
+
+# Recommendation priorities (§4.3.2): reordering does not grow the TCB, so
+# it is evaluated first; moving code out needs a security evaluation last.
+_PRIORITY = {
+    Recommendation.REORDER: 1,
+    Recommendation.BATCH: 2,
+    Recommendation.MERGE: 2,
+    Recommendation.MOVE_IN: 3,
+    Recommendation.DUPLICATE: 3,
+    Recommendation.HYBRID_SYNC: 3,
+    Recommendation.MOVE_OUT: 4,
+    Recommendation.REDUCE_MEMORY: 3,
+    Recommendation.PRELOAD_PAGES: 3,
+    Recommendation.ALTERNATIVE_PAGING: 4,
+    Recommendation.MAKE_PRIVATE: 5,
+    Recommendation.NARROW_ALLOWLIST: 5,
+    Recommendation.CHECK_POINTERS: 5,
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One detected problem with its suggested mitigations."""
+
+    problem: Problem
+    kind: str  # ecall | ocall
+    call: str
+    recommendations: tuple[Recommendation, ...]
+    message: str
+    evidence: dict = field(default_factory=dict)
+
+    @property
+    def priority(self) -> int:
+        """Smallest (best) priority among the recommendations."""
+        return min(_PRIORITY[r] for r in self.recommendations)
+
+
+@dataclass(frozen=True)
+class AnalyzerWeights:
+    """All tunable thresholds, defaulting to the paper's values."""
+
+    # Equation 1 (move/duplicate)
+    move_alpha: float = 0.35
+    move_beta: float = 0.50
+    move_gamma: float = 0.65
+    # Equation 2 (reorder)
+    reorder_alpha: float = 1.00
+    reorder_beta: float = 0.75
+    reorder_gamma: float = 0.50
+    # Equation 3 (merge/batch)
+    merge_alpha: float = 1.00
+    merge_beta: float = 0.75
+    merge_gamma: float = 0.50
+    merge_delta: float = 0.35
+    merge_epsilon: float = 0.35
+    merge_lambda: float = 0.35
+    # General
+    short_call_ns: int = 10_000
+    min_calls: int = 4  # ignore call sites with fewer observations
+    ssc_min_events: int = 8
+    ssc_short_sleep_ns: int = 50_000
+
+
+# --------------------------------------------------------------------------
+# Equation 1: moving / duplication opportunities
+# --------------------------------------------------------------------------
+
+
+def detect_move_candidates(
+    calls: Sequence[CallEvent],
+    transition_round_trip_ns: int,
+    weights: AnalyzerWeights = AnalyzerWeights(),
+) -> list[Finding]:
+    """Flag calls whose executions are mostly shorter than a transition."""
+    findings: list[Finding] = []
+    for (kind, name), group in sorted(stats_mod.group_by_name(calls).items()):
+        if group[0].is_sync or len(group) < weights.min_calls:
+            continue
+        exec_ns = stats_mod.execution_durations_ns(group, transition_round_trip_ns)
+        total = len(exec_ns)
+        c1 = stats_mod.fraction_shorter_than(exec_ns, 1_000)
+        c5 = stats_mod.fraction_shorter_than(exec_ns, 5_000)
+        c10 = stats_mod.fraction_shorter_than(exec_ns, 10_000)
+        if not (
+            c1 >= weights.move_alpha
+            or c5 >= weights.move_beta
+            or c10 >= weights.move_gamma
+        ):
+            continue
+        if kind == ECALL:
+            recommendations = (Recommendation.MOVE_OUT, Recommendation.BATCH)
+            hint = "mostly-short ecall: computation does not amortise the transition"
+        else:
+            recommendations = (Recommendation.MOVE_IN, Recommendation.DUPLICATE)
+            hint = "mostly-short ocall: consider keeping the work inside the enclave"
+        findings.append(
+            Finding(
+                problem=Problem.SISC,
+                kind=kind,
+                call=name,
+                recommendations=recommendations,
+                message=(
+                    f"{hint} ({total} calls; {c1:.0%} <1us, {c5:.0%} <5us, "
+                    f"{c10:.0%} <10us of execution time)"
+                ),
+                evidence={"count": total, "c1": c1, "c5": c5, "c10": c10},
+            )
+        )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Equation 2: reordering opportunities
+# --------------------------------------------------------------------------
+
+
+def detect_reorder_candidates(
+    calls: Sequence[CallEvent],
+    weights: AnalyzerWeights = AnalyzerWeights(),
+) -> list[Finding]:
+    """Flag nested calls clustered at the start or end of their parent."""
+    by_id = parents_mod.index_by_id(calls)
+    pairs: dict[tuple[str, str, str], list[tuple[int, int]]] = {}
+    for call in calls:
+        if call.parent_id is None or call.is_sync:
+            continue
+        parent = by_id.get(call.parent_id)
+        if parent is None:
+            continue
+        key = (call.kind, call.name, parent.name)
+        from_start = call.start_ns - parent.start_ns
+        from_end = parent.end_ns - call.end_ns
+        pairs.setdefault(key, []).append((from_start, from_end))
+    findings: list[Finding] = []
+    for (kind, name, parent_name), offsets in sorted(pairs.items()):
+        if len(offsets) < weights.min_calls:
+            continue
+        total = len(offsets)
+        starts = np.array([o[0] for o in offsets])
+        ends = np.array([o[1] for o in offsets])
+        for label, values in (("start", starts), ("end", ends)):
+            c10 = float((values <= 10_000).mean())
+            c20 = float((values <= 20_000).mean())
+            score = c10 * weights.reorder_alpha + c20 * weights.reorder_beta
+            if score >= weights.reorder_gamma:
+                findings.append(
+                    Finding(
+                        problem=Problem.SNC,
+                        kind=kind,
+                        call=name,
+                        recommendations=(Recommendation.REORDER,),
+                        message=(
+                            f"nested {kind} clustered at the {label} of "
+                            f"{parent_name} ({total} calls, {c10:.0%} within "
+                            f"10us, {c20:.0%} within 20us): execute it "
+                            f"{'before' if label == 'start' else 'after'} the parent instead"
+                        ),
+                        evidence={
+                            "parent": parent_name,
+                            "position": label,
+                            "count": total,
+                            "c10": c10,
+                            "c20": c20,
+                            "score": score,
+                        },
+                    )
+                )
+                break  # one reorder finding per pair is enough
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Equation 3: merging / batching opportunities
+# --------------------------------------------------------------------------
+
+
+def detect_merge_batch_candidates(
+    calls: Sequence[CallEvent],
+    weights: AnalyzerWeights = AnalyzerWeights(),
+) -> list[Finding]:
+    """Flag successive short-gap calls for batching (SISC) or merging (SDSC)."""
+    by_id = parents_mod.index_by_id(calls)
+    indirect = parents_mod.compute_indirect_parents(calls)
+    counts_by_name: dict[tuple[str, str], int] = {
+        key: len(group) for key, group in stats_mod.group_by_name(calls).items()
+    }
+    gaps: dict[tuple[tuple[str, str], tuple[str, str]], list[int]] = {}
+    for call in calls:
+        if call.is_sync:
+            continue
+        gap = parents_mod.gap_to_indirect_parent_ns(call, indirect, by_id)
+        if gap is None:
+            continue
+        parent = by_id[indirect[call.event_id]]
+        key = ((call.kind, call.name), (parent.kind, parent.name))
+        gaps.setdefault(key, []).append(gap)
+    findings: list[Finding] = []
+    for (child_key, parent_key), values in sorted(gaps.items()):
+        if len(values) < weights.min_calls:
+            continue
+        child_total = counts_by_name[child_key]
+        parent_total = counts_by_name[parent_key]
+        if parent_total / child_total < weights.merge_lambda:
+            continue
+        arr = np.array(values)
+        p1 = float((arr <= 1_000).sum()) / parent_total
+        p5 = float((arr <= 5_000).sum()) / parent_total
+        p10 = float((arr <= 10_000).sum()) / parent_total
+        p20 = float((arr <= 20_000).sum()) / parent_total
+        score = (
+            p1 * weights.merge_alpha
+            + p5 * weights.merge_beta
+            + p10 * weights.merge_gamma
+            + p20 * weights.merge_delta
+        )
+        if score < weights.merge_epsilon:
+            continue
+        kind, name = child_key
+        if child_key == parent_key:
+            problem, rec = Problem.SISC, Recommendation.BATCH
+            message = (
+                f"{name} is repeatedly its own indirect parent with short gaps "
+                f"({len(values)} successive pairs, score {score:.2f}): batch the calls"
+            )
+        else:
+            problem, rec = Problem.SDSC, Recommendation.MERGE
+            message = (
+                f"{name} frequently follows {parent_key[1]} within microseconds "
+                f"({len(values)} pairs, score {score:.2f}): merge them into one call"
+            )
+        findings.append(
+            Finding(
+                problem=problem,
+                kind=kind,
+                call=name,
+                recommendations=(rec, Recommendation.MOVE_IN if kind == OCALL else Recommendation.MOVE_OUT),
+                message=message,
+                evidence={
+                    "indirect_parent": parent_key[1],
+                    "pairs": len(values),
+                    "p1": p1,
+                    "p5": p5,
+                    "p10": p10,
+                    "p20": p20,
+                    "score": score,
+                },
+            )
+        )
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Short synchronisation calls
+# --------------------------------------------------------------------------
+
+
+def detect_ssc(
+    calls: Sequence[CallEvent],
+    sync_events: Sequence[SyncEvent],
+    weights: AnalyzerWeights = AnalyzerWeights(),
+) -> list[Finding]:
+    """Flag heavy in-enclave synchronisation with short sleeps (§3.4)."""
+    if len(sync_events) < weights.ssc_min_events:
+        return []
+    sleeps = [e for e in sync_events if e.kind is SyncKind.SLEEP]
+    wakes = [e for e in sync_events if e.kind is SyncKind.WAKE]
+    by_id = parents_mod.index_by_id(calls)
+    sleep_durations = np.array(
+        [by_id[e.call_id].duration_ns for e in sleeps if e.call_id in by_id],
+        dtype=np.int64,
+    )
+    short_fraction = stats_mod.fraction_shorter_than(
+        sleep_durations, weights.ssc_short_sleep_ns
+    )
+    wake_matrix: dict[tuple[int, int], int] = {}
+    for wake in wakes:
+        for target in wake.targets:
+            key = (wake.thread_id, target)
+            wake_matrix[key] = wake_matrix.get(key, 0) + 1
+    if short_fraction < 0.5 and len(wakes) < weights.ssc_min_events:
+        return []
+    return [
+        Finding(
+            problem=Problem.SSC,
+            kind=OCALL,
+            call="sdk synchronisation",
+            recommendations=(Recommendation.HYBRID_SYNC,),
+            message=(
+                f"{len(sleeps)} sleep and {len(wakes)} wake ocalls observed; "
+                f"{short_fraction:.0%} of sleeps shorter than "
+                f"{weights.ssc_short_sleep_ns / 1000:.0f}us — locks are held "
+                "briefly, so spinning in-enclave would avoid most transitions"
+            ),
+            evidence={
+                "sleeps": len(sleeps),
+                "wakes": len(wakes),
+                "short_sleep_fraction": short_fraction,
+                "wake_matrix": wake_matrix,
+            },
+        )
+    ]
+
+
+# --------------------------------------------------------------------------
+# Paging
+# --------------------------------------------------------------------------
+
+
+def detect_paging(
+    calls: Sequence[CallEvent],
+    paging: Sequence[PagingRecord],
+) -> list[Finding]:
+    """Flag EPC paging, attributing events to the ecalls they fell into."""
+    if not paging:
+        return []
+    page_in = sum(1 for p in paging if p.direction == "page_in")
+    page_out = len(paging) - page_in
+    ecalls = sorted(
+        (c for c in calls if c.kind == ECALL), key=lambda c: c.start_ns
+    )
+    affected: dict[str, int] = {}
+    starts = np.array([c.start_ns for c in ecalls], dtype=np.int64)
+    for record in paging:
+        idx = int(np.searchsorted(starts, record.timestamp_ns, side="right")) - 1
+        if 0 <= idx < len(ecalls) and ecalls[idx].end_ns >= record.timestamp_ns:
+            name = ecalls[idx].name
+            affected[name] = affected.get(name, 0) + 1
+    distinct_pages = len({(p.enclave_id, p.vaddr) for p in paging})
+    return [
+        Finding(
+            problem=Problem.PAGING,
+            kind=ECALL,
+            call=name,
+            recommendations=(
+                Recommendation.REDUCE_MEMORY,
+                Recommendation.PRELOAD_PAGES,
+                Recommendation.ALTERNATIVE_PAGING,
+            ),
+            message=(
+                f"{count} paging events during executions of {name} "
+                f"(trace total: {page_in} in / {page_out} out over "
+                f"{distinct_pages} distinct pages)"
+            ),
+            evidence={
+                "events_during_call": count,
+                "page_in": page_in,
+                "page_out": page_out,
+                "distinct_pages": distinct_pages,
+            },
+        )
+        for name, count in sorted(affected.items(), key=lambda kv: -kv[1])
+    ] or [
+        Finding(
+            problem=Problem.PAGING,
+            kind=ECALL,
+            call="(outside ecalls)",
+            recommendations=(Recommendation.REDUCE_MEMORY,),
+            message=(
+                f"{page_in} page-ins / {page_out} page-outs observed outside "
+                f"any traced ecall (e.g. enclave creation under EPC pressure)"
+            ),
+            evidence={"page_in": page_in, "page_out": page_out},
+        )
+    ]

@@ -1,0 +1,81 @@
+"""Direct and indirect parent relationships (paper §4.3.2, Figure 4).
+
+*Direct* parents are logged by the event logger: an ecall E is the direct
+parent of an ocall O iff O was issued during E (and vice versa for ecalls
+during ocalls).
+
+*Indirect* parents relate calls of the **same kind** that share the same
+direct parent: the indirect parent of a call is the latest call of its
+kind, on its thread, with the same direct parent, that ended before it
+started.  Top-level calls (no direct parent) chain with other top-level
+calls of the same kind on the same thread — Figure 4 case (1)/(4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.perf.events import CallEvent
+
+
+def index_by_id(calls: Iterable[CallEvent]) -> dict[int, CallEvent]:
+    """Map event id → event."""
+    return {c.event_id: c for c in calls}
+
+
+def compute_indirect_parents(calls: Sequence[CallEvent]) -> dict[int, int]:
+    """Event id → indirect parent event id, per the Figure 4 rules."""
+    groups: dict[tuple[int, Optional[int], str], list[CallEvent]] = {}
+    for call in calls:
+        key = (call.thread_id, call.parent_id, call.kind)
+        groups.setdefault(key, []).append(call)
+    result: dict[int, int] = {}
+    for group in groups.values():
+        group.sort(key=lambda c: (c.start_ns, c.event_id))
+        for previous, current in zip(group, group[1:]):
+            result[current.event_id] = previous.event_id
+    return result
+
+
+def recompute_direct_parents(calls: Sequence[CallEvent]) -> dict[int, Optional[int]]:
+    """Derive direct parents from interval containment alone.
+
+    The logger records direct parents as it goes; this recomputation from
+    timestamps (per thread: the innermost call whose interval encloses the
+    child's) exists to cross-check the logger and to support traces
+    produced by other tools.
+    """
+    by_thread: dict[int, list[CallEvent]] = {}
+    for call in calls:
+        by_thread.setdefault(call.thread_id, []).append(call)
+    result: dict[int, Optional[int]] = {}
+    for thread_calls in by_thread.values():
+        thread_calls.sort(key=lambda c: (c.start_ns, -c.end_ns, c.event_id))
+        stack: list[CallEvent] = []
+        for call in thread_calls:
+            while stack and stack[-1].end_ns <= call.start_ns:
+                stack.pop()
+            result[call.event_id] = stack[-1].event_id if stack else None
+            stack.append(call)
+    return result
+
+
+def children_of(calls: Sequence[CallEvent]) -> dict[Optional[int], list[CallEvent]]:
+    """Direct parent event id → list of child events (None = top level)."""
+    result: dict[Optional[int], list[CallEvent]] = {}
+    for call in calls:
+        result.setdefault(call.parent_id, []).append(call)
+    return result
+
+
+def gap_to_indirect_parent_ns(
+    call: CallEvent,
+    indirect_parents: dict[int, int],
+    by_id: dict[int, CallEvent],
+) -> Optional[int]:
+    """Time between the indirect parent's end and this call's start."""
+    parent_id = indirect_parents.get(call.event_id)
+    if parent_id is None:
+        return None
+    parent = by_id[parent_id]
+    return call.start_ns - parent.end_ns

@@ -1,0 +1,175 @@
+"""Human-readable analysis reports and the analyser facade (paper §4.3).
+
+:class:`Analyzer` pulls a trace out of a :class:`TraceDatabase`, runs the
+general statistics, every problem detector and the security analysis, and
+packages the result as an :class:`AnalysisReport` that renders to text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.perf.analysis import callgraph as callgraph_mod
+from repro.perf.analysis import detectors as det
+from repro.perf.analysis import security as sec
+from repro.perf.analysis import stats as stats_mod
+from repro.perf.database import TraceDatabase
+from repro.perf.events import CallEvent, ECALL, OCALL
+from repro.sdk.edl import EnclaveDefinition
+
+DEFAULT_TRANSITION_NS = 2_130  # §2.3.1 baseline if the trace lacks metadata
+
+
+@dataclass
+class AnalysisReport:
+    """Everything the analyser produced for one trace."""
+
+    statistics: list[stats_mod.CallStatistics]
+    findings: list[det.Finding]
+    transition_round_trip_ns: int
+    ecall_count: int = 0
+    ocall_count: int = 0
+    ecall_short_fraction: float = 0.0
+    ocall_short_fraction: float = 0.0
+    distinct_ecalls: int = 0
+    distinct_ocalls: int = 0
+    aex_total: int = 0
+    paging_events: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    def findings_by_priority(self) -> list[det.Finding]:
+        """Findings sorted best-priority-first (reorder > merge > move...)."""
+        return sorted(self.findings, key=lambda f: (f.priority, f.call))
+
+    def render_text(self, max_stats_rows: int = 20) -> str:
+        """Render the report for a terminal."""
+        lines: list[str] = []
+        lines.append("=" * 78)
+        lines.append("sgx-perf analysis report")
+        lines.append("=" * 78)
+        lines.append(
+            f"ecalls: {self.ecall_count} events over {self.distinct_ecalls} "
+            f"distinct calls ({self.ecall_short_fraction:.2%} shorter than 10us)"
+        )
+        lines.append(
+            f"ocalls: {self.ocall_count} events over {self.distinct_ocalls} "
+            f"distinct calls ({self.ocall_short_fraction:.2%} shorter than 10us)"
+        )
+        lines.append(
+            f"AEXs: {self.aex_total}   paging events: {self.paging_events}   "
+            f"transition round-trip: {self.transition_round_trip_ns} ns"
+        )
+        lines.append("")
+        lines.append("-- general statistics (top by total time) " + "-" * 35)
+        header = (
+            f"{'kind':6} {'name':40} {'count':>8} {'mean':>9} {'median':>9} "
+            f"{'std':>9} {'p90':>9} {'p95':>9} {'p99':>9}"
+        )
+        lines.append(header)
+        for stat in self.statistics[:max_stats_rows]:
+            kind, name, count, mean, median, std, p90, p95, p99 = stat.row()
+            lines.append(
+                f"{kind:6} {name[:40]:40} {count:>8} {mean:>9} {median:>9} "
+                f"{std:>9} {p90:>9} {p95:>9} {p99:>9}"
+            )
+        if len(self.statistics) > max_stats_rows:
+            lines.append(f"... ({len(self.statistics) - max_stats_rows} more)")
+        lines.append("")
+        lines.append("-- findings (priority order: reorder < merge/batch < move) " + "-" * 17)
+        if not self.findings:
+            lines.append("no problems detected")
+        for finding in self.findings_by_priority():
+            recs = "; ".join(r.value for r in finding.recommendations)
+            lines.append(
+                f"[P{finding.priority}] {finding.problem.name}: "
+                f"{finding.kind} {finding.call}"
+            )
+            lines.append(f"      {finding.message}")
+            lines.append(f"      -> {recs}")
+        if self.notes:
+            lines.append("")
+            lines.append("-- notes " + "-" * 69)
+            lines.extend(f"* {note}" for note in self.notes)
+        return "\n".join(lines)
+
+
+class Analyzer:
+    """The sgx-perf analyser: trace database in, report out."""
+
+    def __init__(
+        self,
+        database: TraceDatabase,
+        definition: Optional[EnclaveDefinition] = None,
+        weights: Optional[det.AnalyzerWeights] = None,
+    ) -> None:
+        self.db = database
+        self.definition = definition
+        self.weights = weights or det.AnalyzerWeights()
+
+    def run(self) -> AnalysisReport:
+        """Run every analysis over the trace."""
+        calls = self.db.calls()
+        sync_events = self.db.sync_events()
+        paging = self.db.paging_events()
+        transition_ns = int(
+            self.db.get_meta("transition_round_trip_ns", str(DEFAULT_TRANSITION_NS))
+        )
+        weights = self.weights
+
+        findings: list[det.Finding] = []
+        findings += det.detect_reorder_candidates(calls, weights)
+        findings += det.detect_merge_batch_candidates(calls, weights)
+        findings += det.detect_move_candidates(calls, transition_ns, weights)
+        findings += det.detect_ssc(calls, sync_events, weights)
+        findings += det.detect_paging(calls, paging)
+        findings += sec.private_ecall_candidates(calls)
+        findings += sec.allowlist_findings(calls, self.definition)
+        if self.definition is not None:
+            findings += sec.user_check_findings(self.definition, calls)
+
+        ecalls = [c for c in calls if c.kind == ECALL]
+        ocalls = [c for c in calls if c.kind == OCALL]
+        ecall_exec = stats_mod.execution_durations_ns(ecalls, transition_ns)
+        ocall_exec = stats_mod.execution_durations_ns(ocalls, transition_ns)
+        report = AnalysisReport(
+            statistics=stats_mod.all_statistics(calls),
+            findings=findings,
+            transition_round_trip_ns=transition_ns,
+            ecall_count=len(ecalls),
+            ocall_count=len(ocalls),
+            ecall_short_fraction=stats_mod.fraction_shorter_than(
+                ecall_exec, weights.short_call_ns
+            ),
+            ocall_short_fraction=stats_mod.fraction_shorter_than(
+                ocall_exec, weights.short_call_ns
+            ),
+            distinct_ecalls=len({c.name for c in ecalls}),
+            distinct_ocalls=len({c.name for c in ocalls}),
+            aex_total=sum(c.aex_count for c in calls),
+            paging_events=len(paging),
+        )
+        if self.definition is None:
+            report.notes.append(
+                "no EDL supplied: allow-list narrowing reports minimal observed "
+                "sets; pass the enclave's EDL for removable-entry analysis"
+            )
+        return report
+
+    # -- visualisation helpers -------------------------------------------------
+
+    def histogram(self, kind: str, name: str, bins: int = 100) -> stats_mod.Histogram:
+        """Execution-time histogram for one call (Figure 7)."""
+        return stats_mod.histogram(self.db.calls(kind=kind, name=name), bins=bins)
+
+    def scatter(self, kind: str, name: str):
+        """(start, duration) scatter series for one call (Figure 8)."""
+        return stats_mod.scatter_series(self.db.calls(kind=kind, name=name))
+
+    def call_graph(self):
+        """Name-level call graph with direct/indirect edges (Figure 5)."""
+        return callgraph_mod.build_call_graph(self.db.calls())
+
+    def call_graph_dot(self) -> str:
+        """Figure 5-style Graphviz DOT text."""
+        return callgraph_mod.to_dot(self.call_graph())

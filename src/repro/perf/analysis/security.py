@@ -1,0 +1,153 @@
+"""Enclave interface security analysis (paper §3.6, §4.3.2).
+
+Three hints, all derived from observed behaviour plus (optionally) the EDL:
+
+1. **Private-ecall candidates** — ecalls whose every observed instance ran
+   during an ocall can be declared ``private``, shrinking the set of paths
+   into the enclave.  Workload-dependent by nature, as the paper notes.
+2. **Allow-list narrowing** — ecalls an ocall *allows* but was never seen
+   to make should be removed; without an EDL the minimal allow set per
+   ocall is reported instead.
+3. **user_check pointers** — parameters the SDK copies nothing for; the
+   developer owns every check, so each one is flagged for review.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.perf.analysis import parents as parents_mod
+from repro.perf.analysis.detectors import Finding, Problem, Recommendation
+from repro.perf.events import CallEvent, ECALL, OCALL
+from repro.sdk.edl import Direction, EnclaveDefinition
+
+
+def private_ecall_candidates(calls: Sequence[CallEvent]) -> list[Finding]:
+    """Ecalls only ever issued during ocalls → recommend ``private``."""
+    by_id = parents_mod.index_by_id(calls)
+    always_nested: dict[str, set[str]] = {}
+    disqualified: set[str] = set()
+    for call in calls:
+        if call.kind != ECALL:
+            continue
+        parent = by_id.get(call.parent_id) if call.parent_id is not None else None
+        if parent is not None and parent.kind == OCALL:
+            always_nested.setdefault(call.name, set()).add(parent.name)
+        else:
+            disqualified.add(call.name)
+    findings = []
+    for name in sorted(set(always_nested) - disqualified):
+        parents = sorted(always_nested[name])
+        findings.append(
+            Finding(
+                problem=Problem.INTERFACE,
+                kind=ECALL,
+                call=name,
+                recommendations=(Recommendation.MAKE_PRIVATE,),
+                message=(
+                    f"every observed instance ran during an ocall; declare it "
+                    f"private and allow it from: {', '.join(parents)} "
+                    "(workload-dependent — verify against all call paths)"
+                ),
+                evidence={"allowing_ocalls": parents},
+            )
+        )
+    return findings
+
+
+def observed_allow_sets(calls: Sequence[CallEvent]) -> dict[str, set[str]]:
+    """Ocall name → set of ecall names actually issued during it."""
+    by_id = parents_mod.index_by_id(calls)
+    observed: dict[str, set[str]] = {}
+    for call in calls:
+        if call.kind != ECALL or call.parent_id is None:
+            continue
+        parent = by_id.get(call.parent_id)
+        if parent is not None and parent.kind == OCALL:
+            observed.setdefault(parent.name, set()).add(call.name)
+    return observed
+
+
+def allowlist_findings(
+    calls: Sequence[CallEvent],
+    definition: Optional[EnclaveDefinition] = None,
+) -> list[Finding]:
+    """Compare declared ``allow(...)`` lists against observed behaviour.
+
+    With an EDL: report removable entries per ocall.  Without one: state
+    the smallest allow set that would have sufficed for this workload.
+    """
+    observed = observed_allow_sets(calls)
+    findings: list[Finding] = []
+    if definition is None:
+        for ocall_name, ecalls in sorted(observed.items()):
+            findings.append(
+                Finding(
+                    problem=Problem.INTERFACE,
+                    kind=OCALL,
+                    call=ocall_name,
+                    recommendations=(Recommendation.NARROW_ALLOWLIST,),
+                    message=(
+                        "smallest sufficient allow set for this workload: "
+                        f"allow({', '.join(sorted(ecalls))})"
+                    ),
+                    evidence={"observed": sorted(ecalls)},
+                )
+            )
+        return findings
+    for ocall in definition.ocalls:
+        declared = set(ocall.allowed_ecalls)
+        if not declared:
+            continue
+        used = observed.get(ocall.name, set())
+        removable = sorted(declared - used)
+        if removable:
+            findings.append(
+                Finding(
+                    problem=Problem.INTERFACE,
+                    kind=OCALL,
+                    call=ocall.name,
+                    recommendations=(Recommendation.NARROW_ALLOWLIST,),
+                    message=(
+                        f"allow list wider than observed behaviour; remove: "
+                        f"{', '.join(removable)}"
+                        + (
+                            f" (keep: {', '.join(sorted(used))})"
+                            if used
+                            else " (no nested ecalls observed at all)"
+                        )
+                    ),
+                    evidence={"removable": removable, "observed": sorted(used)},
+                )
+            )
+    return findings
+
+
+def user_check_findings(
+    definition: EnclaveDefinition,
+    calls: Sequence[CallEvent] = (),
+) -> list[Finding]:
+    """Flag every ``user_check`` pointer, with observed call counts."""
+    counts: dict[tuple[str, str], int] = {}
+    for call in calls:
+        key = (call.kind, call.name)
+        counts[key] = counts.get(key, 0) + 1
+    findings = []
+    for kind, call_name, param in definition.user_check_params():
+        observed = counts.get((kind, call_name), 0)
+        findings.append(
+            Finding(
+                problem=Problem.INTERFACE,
+                kind=kind,
+                call=call_name,
+                recommendations=(Recommendation.CHECK_POINTERS,),
+                message=(
+                    f"parameter {param.name!r} ({param.ctype}) is user_check: "
+                    "no copy, no bounds check by the SDK — audit for buffer "
+                    "overflows, TOCTOU and enclave-address leaks"
+                    + (f"; called {observed} times in this trace" if observed else "")
+                ),
+                evidence={"param": param.name, "observed_calls": observed},
+            )
+        )
+    return findings

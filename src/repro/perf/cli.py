@@ -1,0 +1,138 @@
+"""Command-line interface: ``sgxperf``.
+
+Subcommands:
+
+* ``record``  — run one of the bundled workloads under the event logger and
+  write the trace database (the moral equivalent of
+  ``LD_PRELOAD=liblogger.so ./app``);
+* ``analyze`` — produce the full report for a trace (optionally with the
+  enclave's EDL file for allow-list narrowing);
+* ``stats``   — detailed statistics/histogram/scatter for one call;
+* ``dot``     — emit the Figure 5-style call graph in Graphviz DOT;
+* ``workloads`` — list recordable workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional
+
+from repro.perf.analysis import Analyzer
+from repro.perf.analysis import stats as stats_mod
+from repro.perf.database import TraceDatabase
+from repro.sdk.edl import parse_edl
+
+
+def _workload_registry() -> dict[str, Callable[[str, int], None]]:
+    """Name → recorder function(db_path, seed).  Imported lazily."""
+    from repro.workloads import recorders
+
+    return recorders.REGISTRY
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    registry = _workload_registry()
+    recorder = registry.get(args.workload)
+    if recorder is None:
+        print(
+            f"unknown workload {args.workload!r}; available: "
+            + ", ".join(sorted(registry)),
+            file=sys.stderr,
+        )
+        return 2
+    recorder(args.output, args.seed)
+    print(f"trace written to {args.output}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    definition = None
+    if args.edl:
+        with open(args.edl) as f:
+            definition = parse_edl(f.read())
+    with TraceDatabase(args.trace) as db:
+        report = Analyzer(db, definition=definition).run()
+        print(report.render_text(max_stats_rows=args.rows))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    with TraceDatabase(args.trace) as db:
+        events = db.calls(kind=args.kind, name=args.call)
+        if not events:
+            print(f"no events for {args.kind} {args.call!r}", file=sys.stderr)
+            return 1
+        stat = stats_mod.compute_statistics(args.kind, args.call, events)
+        print(
+            f"{stat.kind} {stat.name}: n={stat.count} mean={stat.mean_ns:.0f}ns "
+            f"median={stat.median_ns:.0f}ns std={stat.std_ns:.0f}ns "
+            f"p90={stat.p90_ns:.0f}ns p95={stat.p95_ns:.0f}ns p99={stat.p99_ns:.0f}ns"
+        )
+        if args.histogram:
+            print(stats_mod.histogram(events, bins=args.bins).render())
+        if args.scatter:
+            starts, durations = stats_mod.scatter_series(events)
+            for s, d in zip(starts, durations):
+                print(f"{s} {d}")
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    with TraceDatabase(args.trace) as db:
+        print(Analyzer(db).call_graph_dot())
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    for name in sorted(_workload_registry()):
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``sgxperf`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="sgxperf",
+        description="Performance analysis for (simulated) Intel SGX enclaves",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_record = sub.add_parser("record", help="run a bundled workload under the logger")
+    p_record.add_argument("workload", help="workload name (see `sgxperf workloads`)")
+    p_record.add_argument("-o", "--output", default="trace.db", help="trace database path")
+    p_record.add_argument("--seed", type=int, default=0, help="simulation seed")
+    p_record.set_defaults(func=_cmd_record)
+
+    p_analyze = sub.add_parser("analyze", help="analyse a recorded trace")
+    p_analyze.add_argument("trace", help="trace database path")
+    p_analyze.add_argument("--edl", help="enclave EDL file for security analysis")
+    p_analyze.add_argument("--rows", type=int, default=20, help="statistics rows to print")
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_stats = sub.add_parser("stats", help="statistics for one call")
+    p_stats.add_argument("trace")
+    p_stats.add_argument("kind", choices=["ecall", "ocall"])
+    p_stats.add_argument("call")
+    p_stats.add_argument("--histogram", action="store_true")
+    p_stats.add_argument("--bins", type=int, default=100)
+    p_stats.add_argument("--scatter", action="store_true")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_dot = sub.add_parser("dot", help="emit the call graph as Graphviz DOT")
+    p_dot.add_argument("trace")
+    p_dot.set_defaults(func=_cmd_dot)
+
+    p_list = sub.add_parser("workloads", help="list recordable workloads")
+    p_list.set_defaults(func=_cmd_workloads)
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Entry point for the ``sgxperf`` console script."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

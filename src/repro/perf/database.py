@@ -1,0 +1,311 @@
+"""SQLite trace store.
+
+"All events are serialised to a SQLite database.  This makes it possible to
+analyse the data with other tools without having to implement parsing of
+the data." (paper §4).  The writer buffers rows and flushes in batches; the
+reader exposes typed records for the analyser and raw SQL for everyone
+else.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable, Optional
+
+from repro.perf.events import (
+    AexEvent,
+    CallEvent,
+    EnclaveRecord,
+    PagingRecord,
+    SyncEvent,
+    SyncKind,
+    ThreadRecord,
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS calls (
+    id INTEGER PRIMARY KEY,
+    kind TEXT NOT NULL,
+    name TEXT NOT NULL,
+    call_index INTEGER NOT NULL,
+    enclave_id INTEGER NOT NULL,
+    thread_id INTEGER NOT NULL,
+    start_ns INTEGER NOT NULL,
+    end_ns INTEGER NOT NULL,
+    aex_count INTEGER NOT NULL DEFAULT 0,
+    parent_id INTEGER,
+    is_sync INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS aex (
+    id INTEGER PRIMARY KEY,
+    ts_ns INTEGER NOT NULL,
+    enclave_id INTEGER NOT NULL,
+    thread_id INTEGER NOT NULL,
+    call_id INTEGER
+);
+CREATE TABLE IF NOT EXISTS paging (
+    id INTEGER PRIMARY KEY,
+    ts_ns INTEGER NOT NULL,
+    enclave_id INTEGER NOT NULL,
+    vaddr INTEGER NOT NULL,
+    direction TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS sync (
+    id INTEGER PRIMARY KEY,
+    ts_ns INTEGER NOT NULL,
+    thread_id INTEGER NOT NULL,
+    kind TEXT NOT NULL,
+    call_id INTEGER NOT NULL,
+    targets TEXT NOT NULL DEFAULT ''
+);
+CREATE TABLE IF NOT EXISTS threads (
+    thread_id INTEGER PRIMARY KEY,
+    name TEXT NOT NULL,
+    created_ns INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS enclaves (
+    enclave_id INTEGER PRIMARY KEY,
+    name TEXT NOT NULL,
+    size_pages INTEGER NOT NULL,
+    tcs_count INTEGER NOT NULL,
+    base_vaddr INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_calls_name ON calls(kind, name);
+CREATE INDEX IF NOT EXISTS idx_calls_thread ON calls(thread_id, start_ns);
+"""
+
+_FLUSH_THRESHOLD = 4096
+
+
+class TraceDatabase:
+    """Writer/reader for an sgx-perf trace.
+
+    Use as a context manager or call :meth:`close` to flush buffered rows.
+    A path of ``":memory:"`` keeps the trace in RAM (handy for tests).
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self.path = path
+        # Simulated threads are backed by OS threads, but the cooperative
+        # scheduler guarantees only one runs at a time — cross-thread use
+        # of the connection is serialised by construction.
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._conn.executescript(_SCHEMA)
+        self._calls: list[tuple] = []
+        self._aex: list[tuple] = []
+        self._paging: list[tuple] = []
+        self._sync: list[tuple] = []
+        self._closed = False
+
+    # -- writer side ---------------------------------------------------------
+
+    def set_meta(self, key: str, value: str) -> None:
+        """Store one key/value metadata pair (patch level, frequency, ...)."""
+        self._conn.execute(
+            "INSERT OR REPLACE INTO meta(key, value) VALUES (?, ?)", (key, str(value))
+        )
+
+    def add_call(self, event: CallEvent) -> None:
+        """Buffer one completed call event."""
+        self._calls.append(
+            (
+                event.event_id,
+                event.kind,
+                event.name,
+                event.call_index,
+                event.enclave_id,
+                event.thread_id,
+                event.start_ns,
+                event.end_ns,
+                event.aex_count,
+                event.parent_id,
+                1 if event.is_sync else 0,
+            )
+        )
+        if len(self._calls) >= _FLUSH_THRESHOLD:
+            self.flush()
+
+    def add_aex(self, event: AexEvent) -> None:
+        """Buffer one traced AEX."""
+        self._aex.append(
+            (
+                event.event_id,
+                event.timestamp_ns,
+                event.enclave_id,
+                event.thread_id,
+                event.call_id,
+            )
+        )
+
+    def add_paging(self, record: PagingRecord) -> None:
+        """Buffer one paging event."""
+        self._paging.append(
+            (
+                record.event_id,
+                record.timestamp_ns,
+                record.enclave_id,
+                record.vaddr,
+                record.direction,
+            )
+        )
+
+    def add_sync(self, event: SyncEvent) -> None:
+        """Buffer one sync sleep/wake event."""
+        self._sync.append(
+            (
+                event.event_id,
+                event.timestamp_ns,
+                event.thread_id,
+                event.kind.value,
+                event.call_id,
+                ",".join(str(t) for t in event.targets),
+            )
+        )
+
+    def add_thread(self, record: ThreadRecord) -> None:
+        """Record one observed thread."""
+        self._conn.execute(
+            "INSERT OR REPLACE INTO threads(thread_id, name, created_ns) VALUES (?,?,?)",
+            (record.thread_id, record.name, record.created_ns),
+        )
+
+    def add_enclave(self, record: EnclaveRecord) -> None:
+        """Record one enclave's static facts."""
+        self._conn.execute(
+            "INSERT OR REPLACE INTO enclaves"
+            "(enclave_id, name, size_pages, tcs_count, base_vaddr) VALUES (?,?,?,?,?)",
+            (
+                record.enclave_id,
+                record.name,
+                record.size_pages,
+                record.tcs_count,
+                record.base_vaddr,
+            ),
+        )
+
+    def flush(self) -> None:
+        """Write buffered rows to the database."""
+        if self._calls:
+            self._conn.executemany(
+                "INSERT INTO calls VALUES (?,?,?,?,?,?,?,?,?,?,?)", self._calls
+            )
+            self._calls.clear()
+        if self._aex:
+            self._conn.executemany("INSERT INTO aex VALUES (?,?,?,?,?)", self._aex)
+            self._aex.clear()
+        if self._paging:
+            self._conn.executemany("INSERT INTO paging VALUES (?,?,?,?,?)", self._paging)
+            self._paging.clear()
+        if self._sync:
+            self._conn.executemany("INSERT INTO sync VALUES (?,?,?,?,?,?)", self._sync)
+            self._sync.clear()
+        self._conn.commit()
+
+    def close(self) -> None:
+        """Flush and close the underlying connection."""
+        if not self._closed:
+            self.flush()
+            self._conn.close()
+            self._closed = True
+
+    def __enter__(self) -> "TraceDatabase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- reader side ---------------------------------------------------------------
+
+    def get_meta(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        """Fetch one metadata value."""
+        row = self._conn.execute("SELECT value FROM meta WHERE key = ?", (key,)).fetchone()
+        return row[0] if row else default
+
+    def calls(
+        self,
+        kind: Optional[str] = None,
+        name: Optional[str] = None,
+        enclave_id: Optional[int] = None,
+    ) -> list[CallEvent]:
+        """Load call events, optionally filtered, ordered by start time."""
+        self.flush()
+        query = "SELECT * FROM calls"
+        clauses, params = [], []
+        if kind is not None:
+            clauses.append("kind = ?")
+            params.append(kind)
+        if name is not None:
+            clauses.append("name = ?")
+            params.append(name)
+        if enclave_id is not None:
+            clauses.append("enclave_id = ?")
+            params.append(enclave_id)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY start_ns, id"
+        rows = self._conn.execute(query, params).fetchall()
+        return [
+            CallEvent(
+                event_id=r[0],
+                kind=r[1],
+                name=r[2],
+                call_index=r[3],
+                enclave_id=r[4],
+                thread_id=r[5],
+                start_ns=r[6],
+                end_ns=r[7],
+                aex_count=r[8],
+                parent_id=r[9],
+                is_sync=bool(r[10]),
+            )
+            for r in rows
+        ]
+
+    def aex_events(self) -> list[AexEvent]:
+        """Load all traced AEX events."""
+        self.flush()
+        rows = self._conn.execute("SELECT * FROM aex ORDER BY ts_ns").fetchall()
+        return [AexEvent(*r) for r in rows]
+
+    def paging_events(self) -> list[PagingRecord]:
+        """Load all paging events."""
+        self.flush()
+        rows = self._conn.execute("SELECT * FROM paging ORDER BY ts_ns").fetchall()
+        return [PagingRecord(*r) for r in rows]
+
+    def sync_events(self) -> list[SyncEvent]:
+        """Load all sync sleep/wake events."""
+        self.flush()
+        rows = self._conn.execute("SELECT * FROM sync ORDER BY ts_ns").fetchall()
+        return [
+            SyncEvent(
+                event_id=r[0],
+                timestamp_ns=r[1],
+                thread_id=r[2],
+                kind=SyncKind(r[3]),
+                call_id=r[4],
+                targets=tuple(int(t) for t in r[5].split(",") if t),
+            )
+            for r in rows
+        ]
+
+    def threads(self) -> list[ThreadRecord]:
+        """Load observed threads."""
+        self.flush()
+        rows = self._conn.execute("SELECT * FROM threads ORDER BY thread_id").fetchall()
+        return [ThreadRecord(*r) for r in rows]
+
+    def enclaves(self) -> list[EnclaveRecord]:
+        """Load enclave records."""
+        self.flush()
+        rows = self._conn.execute("SELECT * FROM enclaves ORDER BY enclave_id").fetchall()
+        return [EnclaveRecord(*r) for r in rows]
+
+    def execute(self, sql: str, params: Iterable = ()) -> list[tuple]:
+        """Run raw SQL against the trace — the 'other tools' escape hatch."""
+        self.flush()
+        return self._conn.execute(sql, tuple(params)).fetchall()

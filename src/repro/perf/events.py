@@ -1,0 +1,106 @@
+"""Trace event model.
+
+Everything sgx-perf records (paper §4): ecall/ocall executions with
+timestamps and thread attribution, AEXs (counted or traced), EPC paging
+events from the driver tracepoints, synchronisation sleep/wake events, and
+thread creations.
+
+Durations follow the paper's §4.1.2 convention: timestamps are taken
+*outside* the enclave, so an **ecall** duration includes the transition
+round-trip while an **ocall** duration does not.  The analyser compensates
+when comparing against the transition cost.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+ECALL = "ecall"
+OCALL = "ocall"
+
+
+@dataclass
+class CallEvent:
+    """One completed ecall or ocall execution."""
+
+    event_id: int
+    kind: str  # ECALL or OCALL
+    name: str
+    call_index: int
+    enclave_id: int
+    thread_id: int
+    start_ns: int
+    end_ns: int = 0
+    aex_count: int = 0
+    parent_id: Optional[int] = None  # direct parent event (paper §4.3.2)
+    is_sync: bool = False  # one of the SDK's four sync ocalls
+
+    @property
+    def duration_ns(self) -> int:
+        """Wall (virtual) duration as the logger measured it."""
+        return self.end_ns - self.start_ns
+
+
+class SyncKind(enum.Enum):
+    """The two event types the four SDK sync ocalls reduce to (§4.1.3)."""
+
+    SLEEP = "sleep"
+    WAKE = "wake"
+
+
+@dataclass(frozen=True)
+class SyncEvent:
+    """A thread going to sleep or waking other threads via a sync ocall."""
+
+    event_id: int
+    timestamp_ns: int
+    thread_id: int
+    kind: SyncKind
+    call_id: int  # the ocall CallEvent this happened in
+    # For WAKE: tokens (thread identities) being woken.  For SLEEP: the
+    # sleeper's own token.  Lets the analyser track who wakes whom.
+    targets: tuple = ()
+
+
+@dataclass(frozen=True)
+class AexEvent:
+    """One traced asynchronous enclave exit (aex_mode='trace' only)."""
+
+    event_id: int
+    timestamp_ns: int
+    enclave_id: int
+    thread_id: int
+    call_id: Optional[int]  # the open ecall it interrupted, if any
+
+
+@dataclass(frozen=True)
+class PagingRecord:
+    """One EPC page crossing, captured from a driver kprobe (§4.1.5)."""
+
+    event_id: int
+    timestamp_ns: int
+    enclave_id: int
+    vaddr: int
+    direction: str  # "page_in" | "page_out"
+
+
+@dataclass(frozen=True)
+class ThreadRecord:
+    """A thread observed by the logger (via pthread_create shadowing)."""
+
+    thread_id: int
+    name: str
+    created_ns: int
+
+
+@dataclass(frozen=True)
+class EnclaveRecord:
+    """Static facts about an enclave, for offline analysis."""
+
+    enclave_id: int
+    name: str
+    size_pages: int
+    tcs_count: int
+    base_vaddr: int

@@ -1,0 +1,392 @@
+"""The sgx-perf event logger.
+
+A "shared library" preloaded into the untrusted application (paper §4,
+Figure 2).  Without touching application, enclave or SDK it:
+
+* **shadows ``sgx_ecall``** — records start/end timestamps, thread and call
+  identifiers for every ecall (§4.1.1);
+* **rewrites the ocall table** — generates one call stub per ocall that
+  logs around the original function pointer, and passes the stub table in
+  place of the original one on every ecall (§4.1.2, Figure 3);
+* **interprets the four SDK sync ocalls** as sleep/wake events, tracking
+  which thread wakes which (§4.1.3);
+* **patches the AEP** to count or trace asynchronous exits per ecall
+  (§4.1.4);
+* **attaches kprobes** to the driver's paging functions to record page-in
+  and page-out events with virtual addresses (§4.1.5);
+* **shadows ``pthread_create`` and ``signal``/``sigaction``** so threads
+  are attributed and application handlers keep working behind the logger's
+  own (§4).
+
+Logging overheads are charged in virtual time and calibrated to Table 2:
+≈1,367 ns per ecall, ≈1,319 ns per ocall, ≈1,076 ns per counted AEX and
+≈1,118 ns per traced AEX.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Optional, Union
+
+from repro.perf.database import TraceDatabase
+from repro.perf.events import (
+    AexEvent,
+    CallEvent,
+    ECALL,
+    EnclaveRecord,
+    OCALL,
+    PagingRecord,
+    SyncEvent,
+    SyncKind,
+    ThreadRecord,
+)
+from repro.sdk.edger8r import (
+    SYNC_OCALL_NAMES,
+    SYNC_OCALL_SET,
+    SYNC_OCALL_SET_MULTIPLE,
+    SYNC_OCALL_SETWAIT,
+    SYNC_OCALL_WAIT,
+)
+from repro.sdk.urts import Urts
+from repro.sgx.events import AexInfo
+from repro.sgx.paging import KPROBE_ELDU, KPROBE_EWB
+from repro.sim.loader import Library
+from repro.sim.process import SimProcess
+
+# Per-event logging overheads (ns), calibrated against Table 2.
+ECALL_LOG_PRE_NS = 700
+ECALL_LOG_POST_NS = 667  # total 1,367 per ecall
+OCALL_LOG_PRE_NS = 680
+OCALL_LOG_POST_NS = 639  # total 1,319 per ocall
+AEX_COUNT_NS = 1_076
+AEX_TRACE_NS = 1_118
+STUB_CREATE_NS = 450  # one-time, per generated ocall stub
+
+
+class AexMode(enum.Enum):
+    """How the logger treats asynchronous exits (§4.1.4)."""
+
+    OFF = "off"  # AEP left untouched
+    COUNT = "count"  # per-ecall AEX counter
+    TRACE = "trace"  # counter + one timestamped record per AEX
+
+
+class _LoggerOcallTable:
+    """The substituted ocall table (``oT_logger`` in Figure 3)."""
+
+    def __init__(self, original: Any, entries: list[Callable]) -> None:
+        self.original = original
+        self.names = list(original.names)
+        self._entries = entries
+
+    def entry(self, index: int) -> Callable:
+        """Stubbed function pointer at ``index``."""
+        return self._entries[index]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class EventLogger:
+    """sgx-perf's preloadable event logger."""
+
+    def __init__(
+        self,
+        process: SimProcess,
+        urts: Urts,
+        database: Union[str, TraceDatabase] = ":memory:",
+        aex_mode: AexMode = AexMode.COUNT,
+        trace_paging: bool = True,
+    ) -> None:
+        self.process = process
+        self.urts = urts
+        self.sim = process.sim
+        self.db = database if isinstance(database, TraceDatabase) else TraceDatabase(database)
+        self.aex_mode = aex_mode
+        self.trace_paging = trace_paging
+        self.library = Library("libsgxperf.so")
+        self._event_seq = 0
+        self._stub_tables: dict[int, _LoggerOcallTable] = {}
+        self._open_calls: dict[int, list[CallEvent]] = {}
+        self._seen_threads: set[int] = set()
+        self._wrapped_handlers = 0
+        self._installed = False
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def install(self) -> None:
+        """Preload the logger: shadow symbols, patch the AEP, attach kprobes."""
+        if self._installed:
+            raise RuntimeError("logger is already installed")
+        self.library.define("sgx_ecall", self._shadow_sgx_ecall)
+        self.library.define("pthread_create", self._shadow_pthread_create)
+        self.library.define("signal", self._shadow_signal)
+        self.library.define("sigaction", self._shadow_sigaction)
+        self.process.loader.preload(self.library)
+        if self.aex_mode is not AexMode.OFF:
+            self.urts.patch_aep(self._aep_hook)
+        if self.trace_paging:
+            driver = self.urts.device.driver
+            driver.attach_kprobe(KPROBE_EWB, self._kprobe_paging)
+            driver.attach_kprobe(KPROBE_ELDU, self._kprobe_paging)
+        self._installed = True
+
+    def uninstall(self) -> None:
+        """Undo :meth:`install` (the preloaded library is dlclosed)."""
+        if not self._installed:
+            return
+        self.process.loader.unload(self.library)
+        if self.aex_mode is not AexMode.OFF:
+            self.urts.patch_aep(None)
+        if self.trace_paging:
+            driver = self.urts.device.driver
+            driver.detach_kprobe(KPROBE_EWB, self._kprobe_paging)
+            driver.detach_kprobe(KPROBE_ELDU, self._kprobe_paging)
+        self._installed = False
+
+    def finalize(self) -> TraceDatabase:
+        """Write static records and trace metadata; returns the database."""
+        for runtime in self.urts._runtimes.values():
+            enclave = runtime.enclave
+            self.db.add_enclave(
+                EnclaveRecord(
+                    enclave_id=enclave.enclave_id,
+                    name=enclave.config.name,
+                    size_pages=enclave.size_pages,
+                    tcs_count=enclave.config.tcs_count,
+                    base_vaddr=enclave.base_vaddr,
+                )
+            )
+        cpu = self.urts.device.cpu
+        self.db.set_meta("patch_level", cpu.patch_level.value)
+        self.db.set_meta("transition_round_trip_ns", cpu.transition_round_trip_ns)
+        self.db.set_meta("frequency_ghz", self.sim.clock.frequency_ghz)
+        self.db.set_meta("aex_mode", self.aex_mode.value)
+        self.db.flush()
+        return self.db
+
+    def __enter__(self) -> "EventLogger":
+        self.install()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._installed:
+            self.uninstall()
+        self.finalize()
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _next_id(self) -> int:
+        self._event_seq += 1
+        return self._event_seq
+
+    def _tid(self) -> int:
+        thread = self.sim.current_thread
+        tid = thread.tid if thread is not None else 0
+        if tid not in self._seen_threads:
+            self._seen_threads.add(tid)
+            name = thread.name if thread is not None else "main"
+            self.db.add_thread(ThreadRecord(tid, name, self.sim.now_ns))
+        return tid
+
+    def _stack(self, tid: int) -> list[CallEvent]:
+        stack = self._open_calls.get(tid)
+        if stack is None:
+            stack = []
+            self._open_calls[tid] = stack
+        return stack
+
+    # -- sgx_ecall shadow (§4.1.1) -----------------------------------------------------
+
+    def _shadow_sgx_ecall(
+        self, enclave_id: int, index: int, ocall_table: Any, args: tuple
+    ):
+        self.sim.compute(ECALL_LOG_PRE_NS)
+        stub_table = self._stub_table_for(ocall_table)
+        tid = self._tid()
+        stack = self._stack(tid)
+        event = CallEvent(
+            event_id=self._next_id(),
+            kind=ECALL,
+            name=self._ecall_name(enclave_id, index),
+            call_index=index,
+            enclave_id=enclave_id,
+            thread_id=tid,
+            start_ns=self.sim.now_ns,
+            parent_id=stack[-1].event_id if stack else None,
+        )
+        stack.append(event)
+        real_sgx_ecall = self.process.loader.resolve_next("sgx_ecall", self.library)
+        try:
+            # The stub table is passed in place of the original on *every*
+            # ecall — the logger cannot know beforehand whether the ecall
+            # will issue ocalls (§4.1.2).
+            return real_sgx_ecall(enclave_id, index, stub_table, args)
+        finally:
+            stack.pop()
+            event.end_ns = self.sim.now_ns
+            self.db.add_call(event)
+            self.sim.compute(ECALL_LOG_POST_NS)
+
+    def _ecall_name(self, enclave_id: int, index: int) -> str:
+        runtime = self.urts._runtimes.get(enclave_id)
+        if runtime is not None and 0 <= index < len(runtime.definition.ecalls):
+            return runtime.definition.ecalls[index].name
+        return f"ecall#{index}"
+
+    # -- ocall stubs (§4.1.2, Figure 3) ---------------------------------------------------
+
+    def _stub_table_for(self, original: Any) -> _LoggerOcallTable:
+        key = id(original)
+        stub_table = self._stub_tables.get(key)
+        if stub_table is None:
+            # On-the-fly code generation for the stubs: once per table,
+            # which in SDK applications means once per enclave.
+            entries = [
+                self._make_stub(index, name, original.entry(index))
+                for index, name in enumerate(original.names)
+            ]
+            self.sim.compute(STUB_CREATE_NS * max(1, len(entries)))
+            stub_table = _LoggerOcallTable(original, entries)
+            self._stub_tables[key] = stub_table
+        return stub_table
+
+    def _make_stub(self, index: int, name: str, original_fn: Callable) -> Callable:
+        is_sync = name in SYNC_OCALL_NAMES
+
+        def stub(*args: Any) -> Any:
+            self.sim.compute(OCALL_LOG_PRE_NS)
+            tid = self._tid()
+            stack = self._stack(tid)
+            event = CallEvent(
+                event_id=self._next_id(),
+                kind=OCALL,
+                name=name,
+                call_index=index,
+                enclave_id=stack[-1].enclave_id if stack else 0,
+                thread_id=tid,
+                start_ns=self.sim.now_ns,
+                parent_id=stack[-1].event_id if stack else None,
+                is_sync=is_sync,
+            )
+            if is_sync:
+                self._record_sync(event, name, args)
+            stack.append(event)
+            try:
+                return original_fn(*args)
+            finally:
+                stack.pop()
+                event.end_ns = self.sim.now_ns
+                self.db.add_call(event)
+                self.sim.compute(OCALL_LOG_POST_NS)
+
+        stub.__name__ = f"sgxperf_stub_{name}"
+        return stub
+
+    # -- sync events (§4.1.3) ----------------------------------------------------------
+
+    def _record_sync(self, call: CallEvent, name: str, args: tuple) -> None:
+        now = self.sim.now_ns
+        if name == SYNC_OCALL_WAIT:
+            events = [(SyncKind.SLEEP, (args[0],))]
+        elif name == SYNC_OCALL_SET:
+            events = [(SyncKind.WAKE, (args[0],))]
+        elif name == SYNC_OCALL_SET_MULTIPLE:
+            events = [(SyncKind.WAKE, tuple(args[0]))]
+        elif name == SYNC_OCALL_SETWAIT:
+            events = [(SyncKind.WAKE, (args[0],)), (SyncKind.SLEEP, (args[1],))]
+        else:  # pragma: no cover - guarded by caller
+            return
+        for kind, targets in events:
+            self.db.add_sync(
+                SyncEvent(
+                    event_id=self._next_id(),
+                    timestamp_ns=now,
+                    thread_id=call.thread_id,
+                    kind=kind,
+                    call_id=call.event_id,
+                    targets=targets,
+                )
+            )
+
+    # -- AEX hook (§4.1.4) ----------------------------------------------------------------
+
+    def _aep_hook(self, info: AexInfo) -> None:
+        if self.aex_mode is AexMode.COUNT:
+            self.sim.compute(AEX_COUNT_NS)
+        else:
+            self.sim.compute(AEX_TRACE_NS)
+        tid = self._tid()
+        stack = self._stack(tid)
+        open_ecall: Optional[CallEvent] = None
+        for event in reversed(stack):
+            if event.kind == ECALL:
+                open_ecall = event
+                break
+        if open_ecall is not None:
+            open_ecall.aex_count += 1
+        if self.aex_mode is AexMode.TRACE:
+            self.db.add_aex(
+                AexEvent(
+                    event_id=self._next_id(),
+                    timestamp_ns=info.timestamp_ns,
+                    enclave_id=info.enclave_id,
+                    thread_id=tid,
+                    call_id=open_ecall.event_id if open_ecall else None,
+                )
+            )
+
+    # -- paging kprobes (§4.1.5) --------------------------------------------------------------
+
+    def _kprobe_paging(self, ts_ns: int, enclave_id: int, vaddr: int, direction: str) -> None:
+        self.db.add_paging(
+            PagingRecord(
+                event_id=self._next_id(),
+                timestamp_ns=ts_ns,
+                enclave_id=enclave_id,
+                vaddr=vaddr,
+                direction=direction,
+            )
+        )
+
+    # -- libc shadows ------------------------------------------------------------------------------
+
+    def _shadow_pthread_create(self, target: Callable, *args: Any, name: Optional[str] = None):
+        real = self.process.loader.resolve_next("pthread_create", self.library)
+        thread = real(target, *args, name=name)
+        self.db.add_thread(ThreadRecord(thread.tid, thread.name, self.sim.now_ns))
+        return thread
+
+    def _shadow_signal(self, signum: int, handler: Optional[Callable]):
+        return self._install_wrapped_handler("signal", signum, handler)
+
+    def _shadow_sigaction(self, signum: int, handler: Optional[Callable]):
+        return self._install_wrapped_handler("sigaction", signum, handler)
+
+    def _install_wrapped_handler(
+        self, symbol: str, signum: int, handler: Optional[Callable]
+    ):
+        """Keep application handlers working *behind* the logger's own.
+
+        The logger processes the signal first (it needs some — e.g. JNI
+        applications use signals for thread communication, §4), then
+        forwards to the handler the application registered.
+        """
+        real = self.process.loader.resolve_next(symbol, self.library)
+        if handler is None:
+            return real(signum, None)
+        self._wrapped_handlers += 1
+
+        def wrapped(sig: int, info: Any):
+            # The logger's own processing is bookkeeping-only in the model.
+            return handler(sig, info)
+
+        wrapped.__wrapped__ = handler
+        return real(signum, wrapped)
+
+    # -- introspection ------------------------------------------------------------------------
+
+    @property
+    def events_recorded(self) -> int:
+        """Total number of event ids handed out so far."""
+        return self._event_seq

@@ -1,0 +1,150 @@
+"""The enclave working set estimator (paper §4.2).
+
+Reports how many enclave pages are actually *accessed* between two points
+in time — usually much fewer than the enclave's size, since guard and
+padding pages are never touched.  Knowing the working set lets developers
+right-size enclaves and predict paging behaviour under EPC pressure.
+
+Mechanism (identical to the paper's): strip all MMU page permissions of the
+enclave's pages, catch the resulting access faults with a SIGSEGV handler,
+record the page, restore its permissions and let the access retry.  It
+works because permissions are checked twice — MMU first, SGX second — and
+only the MMU ones are mutable at runtime.  This interferes heavily with
+execution (a fault + mprotect per first touch), which is why it is a
+separate tool and not part of the event logger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.sgx import constants as sgxc
+from repro.sgx.enclave import Enclave, PageType, Permission
+from repro.sgx.enclave import _DEFAULT_PERMS  # model-internal default map
+from repro.sgx.events import PageFaultInfo
+from repro.sgx.mmu import Mmu
+from repro.sim.process import SIGSEGV, SimProcess
+
+# Page types that have no accessible mapping to begin with.
+_UNMAPPED = (PageType.SECS, PageType.GUARD, PageType.PADDING)
+
+
+@dataclass
+class WorkingSetReport:
+    """Pages accessed during one measurement window."""
+
+    enclave_id: int
+    page_indices: frozenset[int]
+    by_type: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def page_count(self) -> int:
+        """Number of distinct pages accessed."""
+        return len(self.page_indices)
+
+    @property
+    def bytes(self) -> int:
+        """Working set size in bytes."""
+        return self.page_count * sgxc.PAGE_SIZE
+
+    def __str__(self) -> str:
+        mib = self.bytes / (1024 * 1024)
+        parts = ", ".join(f"{t}={n}" for t, n in sorted(self.by_type.items()))
+        return (
+            f"working set of enclave {self.enclave_id}: "
+            f"{self.page_count} pages ({mib:.2f} MiB) [{parts}]"
+        )
+
+
+class WorkingSetEstimator:
+    """Permission-stripping page-access tracker for one enclave."""
+
+    def __init__(self, process: SimProcess, enclave: Enclave) -> None:
+        self.process = process
+        self.sim = process.sim
+        self.enclave = enclave
+        self.mmu = Mmu(process)
+        self._accessed: set[int] = set()
+        self._previous_handler: Optional[Callable] = None
+        self._active = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Strip permissions and install the fault handler."""
+        if self._active:
+            raise RuntimeError("estimator already started")
+        self._previous_handler = self.process.register_signal_handler(
+            SIGSEGV, self._on_fault
+        )
+        self._strip()
+        self._accessed.clear()
+        self._active = True
+
+    def mark(self) -> WorkingSetReport:
+        """End the current window and start a new one.
+
+        Returns the report for the window just closed; permissions are
+        stripped again so the next window starts counting from zero.  This
+        is the "between two configurable points in time" knob of §4.2.
+        """
+        report = self._report()
+        self._accessed.clear()
+        self._strip()
+        return report
+
+    def stop(self) -> WorkingSetReport:
+        """Restore permissions and the previous handler; final report."""
+        if not self._active:
+            raise RuntimeError("estimator is not running")
+        report = self._report()
+        self._restore_all()
+        self.process.register_signal_handler(SIGSEGV, self._previous_handler)
+        self._previous_handler = None
+        self._active = False
+        return report
+
+    def __enter__(self) -> "WorkingSetEstimator":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._active:
+            self.stop()
+
+    # -- internals ------------------------------------------------------------
+
+    def _strip(self) -> None:
+        strippable = (
+            p for p in self.enclave.pages if p.page_type not in _UNMAPPED
+        )
+        self.mmu.protect(strippable, Permission.NONE)
+
+    def _restore_all(self) -> None:
+        for page in self.enclave.pages:
+            if page.page_type not in _UNMAPPED:
+                page.os_perms = _DEFAULT_PERMS[page.page_type]
+
+    def _on_fault(self, signum: int, info: Any) -> bool:
+        if not isinstance(info, PageFaultInfo) or info.enclave_id != self.enclave.enclave_id:
+            if self._previous_handler is not None:
+                return self._previous_handler(signum, info)
+            return False
+        page = self.enclave.page_at(info.vaddr)
+        # Restore this page's permissions (one mprotect) and remember it.
+        self.sim.compute(sgxc.MPROTECT_NS)
+        page.os_perms = _DEFAULT_PERMS[page.page_type]
+        self._accessed.add(page.index)
+        return True
+
+    def _report(self) -> WorkingSetReport:
+        by_type: dict[str, int] = {}
+        for index in self._accessed:
+            page_type = self.enclave.pages[index].page_type.value
+            by_type[page_type] = by_type.get(page_type, 0) + 1
+        return WorkingSetReport(
+            enclave_id=self.enclave.enclave_id,
+            page_indices=frozenset(self._accessed),
+            by_type=by_type,
+        )

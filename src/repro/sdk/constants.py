@@ -1,0 +1,32 @@
+"""SDK software-cost constants.
+
+Calibrated jointly with :mod:`repro.sgx.constants` so that, at the
+``BASELINE`` mitigation level, a traced empty ecall costs ≈4,205 ns and an
+empty ocall round-trip adds ≈3,808 ns — the native rows of the paper's
+Table 2.
+"""
+
+# sgx_ecall entry: argument checks, enclave lookup, TCS search, ocall-table
+# pointer bookkeeping.
+URTS_ECALL_DISPATCH_NS = 780
+# The generic enclave entry trampoline: identifier resolution, stack switch.
+TRTS_ECALL_DISPATCH_NS = 820
+# Return path through the URTS after EEXIT.
+URTS_ECALL_RETURN_NS = 475
+
+# sgx_ocall: marshal the frame to the untrusted stack area.
+TRTS_OCALL_PREP_NS = 400
+# URTS: fetch the saved ocall table, resolve the pointer, call it.
+URTS_OCALL_LOOKUP_NS = 560
+# Back inside: restore the trusted frame.
+TRTS_OCALL_RESUME_NS = 718
+
+# Enclave-heap allocator costs (dlmalloc-ish).
+MALLOC_NS = 160
+FREE_NS = 120
+
+# In-enclave spin iteration (for the hybrid mutex of §3.4).
+SPIN_ITERATION_NS = 40
+
+# SGX v2 EDMM: in-enclave EACCEPT of one EAUGed page.
+EACCEPT_NS = 1_100

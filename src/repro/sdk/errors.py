@@ -1,0 +1,29 @@
+"""SGX SDK status codes and exceptions."""
+
+from __future__ import annotations
+
+import enum
+
+
+class SgxStatus(enum.Enum):
+    """Subset of the SDK's ``sgx_status_t`` relevant to the model."""
+
+    SGX_SUCCESS = 0x0000
+    SGX_ERROR_INVALID_PARAMETER = 0x0002
+    SGX_ERROR_OUT_OF_MEMORY = 0x0003
+    SGX_ERROR_ENCLAVE_LOST = 0x0004
+    SGX_ERROR_INVALID_ENCLAVE_ID = 0x2002
+    SGX_ERROR_OUT_OF_TCS = 0x3003
+    SGX_ERROR_ECALL_NOT_ALLOWED = 0x3006
+    SGX_ERROR_OCALL_NOT_ALLOWED = 0x3007
+    SGX_ERROR_INVALID_FUNCTION = 0x3001
+
+
+class SgxError(RuntimeError):
+    """An SDK call failed with a non-success status."""
+
+    def __init__(self, status: SgxStatus, detail: str = "") -> None:
+        message = status.name if not detail else f"{status.name}: {detail}"
+        super().__init__(message)
+        self.status = status
+        self.detail = detail

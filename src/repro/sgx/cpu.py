@@ -1,0 +1,63 @@
+"""The SGX-capable CPU model.
+
+An :class:`SgxCpu` knows the current microcode/SDK mitigation level and
+exposes the virtual-time cost of every SGX instruction the simulator charges
+for.  It is deliberately small: the simulator does not model caches or
+pipelines, only the *event-level* costs sgx-perf observes.
+"""
+
+from __future__ import annotations
+
+from repro.sgx import constants as c
+from repro.sgx.constants import PatchLevel
+
+
+class SgxCpu:
+    """Instruction cost model for one mitigation level."""
+
+    def __init__(self, patch_level: PatchLevel = PatchLevel.BASELINE) -> None:
+        if not isinstance(patch_level, PatchLevel):
+            raise TypeError(f"expected PatchLevel, got {patch_level!r}")
+        self.patch_level = patch_level
+
+    @property
+    def eenter_ns(self) -> int:
+        """Cost of EENTER (synchronous enclave entry)."""
+        return c.EENTER_NS[self.patch_level]
+
+    @property
+    def eexit_ns(self) -> int:
+        """Cost of EEXIT (synchronous enclave exit)."""
+        return c.EEXIT_NS[self.patch_level]
+
+    @property
+    def eresume_ns(self) -> int:
+        """Cost of ERESUME (re-entry after an AEX)."""
+        return c.ERESUME_NS[self.patch_level]
+
+    @property
+    def aex_save_ns(self) -> int:
+        """Hardware cost of an asynchronous exit (SSA save + exit)."""
+        return c.AEX_SAVE_NS[self.patch_level]
+
+    @property
+    def transition_round_trip_ns(self) -> int:
+        """EENTER + EEXIT: the §2.3.1 'one round-trip' number."""
+        return self.eenter_ns + self.eexit_ns
+
+    @property
+    def transition_round_trip_cycles(self) -> int:
+        """Round-trip cost expressed in cycles at 3.4 GHz."""
+        return int(round(self.transition_round_trip_ns * 3.4))
+
+    @property
+    def aex_total_ns(self) -> int:
+        """Full cost of one AEX: save + interrupt handler + ERESUME."""
+        return self.aex_save_ns + c.INTERRUPT_HANDLER_NS + self.eresume_ns
+
+    def copy_cost_ns(self, nbytes: int) -> int:
+        """Cost of copying ``nbytes`` across the enclave boundary."""
+        return int(nbytes * c.BOUNDARY_COPY_NS_PER_BYTE)
+
+    def __repr__(self) -> str:
+        return f"SgxCpu(patch_level={self.patch_level.value})"

@@ -1,0 +1,100 @@
+"""The Enclave Page Cache.
+
+A machine-wide pool of 128 MiB of protected memory of which ≈93 MiB are
+usable for enclave pages (paper §2.1/§2.3.3); the rest holds integrity
+metadata.  When the pool is full, loading another page requires evicting a
+victim to untrusted memory (EWB), which the kernel driver pays for.
+
+Victim selection uses a second-chance (clock) policy over the global
+resident set — like the Linux SGX driver's LRU approximation — so pages an
+enclave keeps touching tend to stay resident.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.sgx import constants as c
+from repro.sgx.enclave import Page
+
+
+class EpcFull(RuntimeError):
+    """No page could be evicted to make room (all pages pinned)."""
+
+
+class Epc:
+    """Resident-page accounting for the machine's EPC."""
+
+    def __init__(self, capacity_pages: int = c.EPC_USABLE_PAGES) -> None:
+        if capacity_pages <= 0:
+            raise ValueError("EPC capacity must be positive")
+        self.capacity_pages = capacity_pages
+        self._fifo: deque[Page] = deque()
+        self._resident_count = 0
+        self._pinned: set[int] = set()  # id(page) of unevictable pages
+
+    @property
+    def resident_pages(self) -> int:
+        """Number of pages currently resident."""
+        return self._resident_count
+
+    @property
+    def free_pages(self) -> int:
+        """Number of free EPC page frames."""
+        return self.capacity_pages - self._resident_count
+
+    @property
+    def is_full(self) -> bool:
+        """Whether inserting a page would require an eviction."""
+        return self._resident_count >= self.capacity_pages
+
+    def pin(self, page: Page) -> None:
+        """Mark a page unevictable (SECS and busy TCS pages)."""
+        self._pinned.add(id(page))
+
+    def unpin(self, page: Page) -> None:
+        """Make a page evictable again."""
+        self._pinned.discard(id(page))
+
+    def insert(self, page: Page) -> None:
+        """Account a page as resident.  The caller must have made room."""
+        if page.resident:
+            raise ValueError(f"{page!r} is already resident")
+        if self.is_full:
+            raise EpcFull("insert without prior eviction")
+        page.resident = True
+        page.accessed = False
+        self._fifo.append(page)
+        self._resident_count += 1
+
+    def remove(self, page: Page) -> None:
+        """Account a page as no longer resident (evicted or enclave torn down)."""
+        if not page.resident:
+            raise ValueError(f"{page!r} is not resident")
+        page.resident = False
+        self._resident_count -= 1
+        # Lazy deletion: the stale deque entry is skipped during scans.
+
+    def choose_victim(self) -> Page:
+        """Pick the next eviction victim via the second-chance policy."""
+        scanned = 0
+        limit = 2 * len(self._fifo) + 1
+        while self._fifo and scanned < limit:
+            page = self._fifo.popleft()
+            scanned += 1
+            if not page.resident:
+                continue  # stale entry left by remove()
+            if id(page) in self._pinned:
+                self._fifo.append(page)
+                continue
+            if page.accessed:
+                page.accessed = False
+                self._fifo.append(page)
+                continue
+            # Victim found; it stays out of the deque (remove() follows).
+            return page
+        raise EpcFull("all resident pages are pinned; cannot evict")
+
+    def __repr__(self) -> str:
+        return f"Epc(resident={self._resident_count}/{self.capacity_pages})"

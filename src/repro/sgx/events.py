@@ -1,0 +1,61 @@
+"""Hardware-level event records emitted by the SGX model.
+
+These are the raw facts sgx-perf's logger subscribes to: paging events from
+the (simulated) kernel driver's tracepoints, and AEX notifications delivered
+through the patched AEP.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PagingDirection(enum.Enum):
+    """Which way a page moved between the EPC and untrusted memory."""
+
+    PAGE_IN = "page_in"  # ELDU: untrusted memory -> EPC
+    PAGE_OUT = "page_out"  # EWB: EPC -> untrusted memory
+
+
+@dataclass(frozen=True)
+class PagingEvent:
+    """One page crossing the EPC boundary (driver tracepoint payload)."""
+
+    timestamp_ns: int
+    enclave_id: int
+    vaddr: int
+    direction: PagingDirection
+
+
+class AexReason(enum.Enum):
+    """Why an asynchronous exit happened.
+
+    SGX v1 cannot report the reason to software (paper §4.1.4); the model
+    tracks it internally and only exposes it to the logger when the enclave
+    is a *debug* enclave under the SGX v2 extension (see
+    ``EnclaveExecution.expose_aex_reasons``).
+    """
+
+    INTERRUPT = "interrupt"
+    PAGE_FAULT = "page_fault"
+    OTHER_FAULT = "other_fault"
+
+
+@dataclass(frozen=True)
+class AexInfo:
+    """Payload handed to the AEP when an AEX occurs."""
+
+    timestamp_ns: int
+    enclave_id: int
+    tcs_index: int
+    reason: AexReason | None  # None unless the model exposes reasons
+
+
+@dataclass(frozen=True)
+class PageFaultInfo:
+    """Signal info for an MMU permission fault (SIGSEGV payload)."""
+
+    vaddr: int
+    enclave_id: int
+    write: bool

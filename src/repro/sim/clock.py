@@ -1,0 +1,61 @@
+"""Virtual time keeping.
+
+The simulator models the paper's evaluation machine, an Intel Xeon E3-1230 v5
+running at 3.40 GHz.  All durations are integer nanoseconds; cycle counts are
+converted through the configured frequency.
+"""
+
+from __future__ import annotations
+
+DEFAULT_FREQUENCY_GHZ = 3.4
+
+
+class VirtualClock:
+    """A monotonically increasing virtual clock.
+
+    The clock only moves when :meth:`advance` is called.  It is owned by a
+    :class:`repro.sim.kernel.Simulation`, which advances it as simulated
+    threads consume compute time.
+    """
+
+    __slots__ = ("_now_ns", "_frequency_ghz")
+
+    def __init__(self, frequency_ghz: float = DEFAULT_FREQUENCY_GHZ) -> None:
+        if frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        self._now_ns = 0
+        self._frequency_ghz = frequency_ghz
+
+    @property
+    def now_ns(self) -> int:
+        """Current virtual time in nanoseconds since simulation start."""
+        return self._now_ns
+
+    @property
+    def frequency_ghz(self) -> float:
+        """Modelled CPU frequency in GHz."""
+        return self._frequency_ghz
+
+    def advance(self, duration_ns: int) -> int:
+        """Move time forward by ``duration_ns`` and return the new time."""
+        if duration_ns < 0:
+            raise ValueError(f"cannot advance time by {duration_ns} ns")
+        self._now_ns += int(duration_ns)
+        return self._now_ns
+
+    def advance_to(self, deadline_ns: int) -> int:
+        """Move time forward to ``deadline_ns`` (no-op if already past it)."""
+        if deadline_ns > self._now_ns:
+            self._now_ns = int(deadline_ns)
+        return self._now_ns
+
+    def cycles_to_ns(self, cycles: float) -> int:
+        """Convert a cycle count to nanoseconds at the modelled frequency."""
+        return int(round(cycles / self._frequency_ghz))
+
+    def ns_to_cycles(self, duration_ns: float) -> int:
+        """Convert nanoseconds to a cycle count at the modelled frequency."""
+        return int(round(duration_ns * self._frequency_ghz))
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now_ns} ns @ {self._frequency_ghz} GHz)"

@@ -1,0 +1,333 @@
+"""Deterministic cooperative scheduler.
+
+The simulator executes workload code as plain Python functions inside
+*simulated threads* (:class:`SimThread`).  Exactly one simulated thread runs
+at any moment; it runs until it calls back into the simulation (to consume
+compute time, to block on a futex, ...), at which point the scheduler picks
+the runnable thread with the smallest wake-up time.  This makes every
+interleaving — and therefore every lock-contention pattern and every sync
+ocall the SGX SDK model emits — fully deterministic.
+
+Simulated threads are backed by real OS threads purely as a coroutine
+mechanism (so workload code does not need to be written as generators);
+the global-turn discipline means there is no actual parallelism and no data
+races.
+
+Single-threaded convenience: a :class:`Simulation` can also be used *inline*
+without spawning any thread.  ``sim.compute(...)`` then simply advances the
+clock.  This keeps simple benchmarks free of spawn/run boilerplate.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional
+
+from repro.sim.clock import VirtualClock
+from repro.sim.rng import DeterministicRng
+
+
+class SimulationError(Exception):
+    """Base class for scheduler errors."""
+
+
+class DeadlockError(SimulationError):
+    """All live simulated threads are blocked with nobody left to wake them."""
+
+
+class _ThreadKilled(BaseException):
+    """Raised inside a simulated thread to unwind it when the sim shuts down.
+
+    Derives from ``BaseException`` so workload ``except Exception`` blocks do
+    not swallow it.
+    """
+
+
+_NEW = "new"
+_RUNNABLE = "runnable"
+_RUNNING = "running"
+_BLOCKED = "blocked"
+_DONE = "done"
+
+
+class SimThread:
+    """A simulated thread of execution.
+
+    Created via :meth:`Simulation.spawn`.  The target function runs with the
+    thread as the *current thread* of the simulation; it may call
+    :meth:`Simulation.compute`, block on futexes, and spawn further threads.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulation",
+        tid: int,
+        target: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        name: str,
+        daemon: bool,
+    ) -> None:
+        self._sim = sim
+        self.tid = tid
+        self.name = name
+        self.daemon = daemon
+        self._target = target
+        self._args = args
+        self._kwargs = kwargs
+        self.state = _NEW
+        self.wake_time = sim.clock.now_ns
+        self.seq = sim._next_seq()
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self._killed = False
+        self._go = threading.Event()
+        self._os_thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _start_os_thread(self) -> None:
+        self._os_thread = threading.Thread(
+            target=self._run, name=f"sim:{self.name}", daemon=True
+        )
+        self._os_thread.start()
+
+    def _run(self) -> None:
+        try:
+            self.result = self._target(*self._args, **self._kwargs)
+        except _ThreadKilled:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - reported to run()
+            self.exception = exc
+        finally:
+            self.state = _DONE
+            self._sim._on_thread_done(self)
+
+    # -- scheduling primitives (called with the sim lock conventions) ------
+
+    def _resume(self) -> None:
+        """Scheduler side: hand the turn to this thread."""
+        self.state = _RUNNING
+        if self._os_thread is None:
+            self._start_os_thread()
+        else:
+            self._go.set()
+
+    def _wait_for_turn(self) -> None:
+        """Thread side: sleep until the scheduler hands us the turn."""
+        self._go.wait()
+        self._go.clear()
+        if self._killed:
+            raise _ThreadKilled()
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the simulated thread has not finished yet."""
+        return self.state != _DONE
+
+    def wake(self) -> bool:
+        """Make a blocked thread runnable at the current virtual time.
+
+        Returns ``False`` if the thread was not blocked.
+        """
+        if self.state != _BLOCKED:
+            return False
+        self.state = _RUNNABLE
+        self.wake_time = self._sim.clock.now_ns
+        self.seq = self._sim._next_seq()
+        return True
+
+    def __repr__(self) -> str:
+        return f"SimThread(tid={self.tid}, name={self.name!r}, state={self.state})"
+
+
+class Simulation:
+    """Owner of the virtual clock, the scheduler and the futex table."""
+
+    def __init__(self, seed: int = 0, frequency_ghz: float = 3.4) -> None:
+        self.clock = VirtualClock(frequency_ghz)
+        self.rng = DeterministicRng(seed)
+        self._threads: list[SimThread] = []
+        self._next_tid = 1
+        self._seq = 0
+        self._current: Optional[SimThread] = None
+        self._sched_event = threading.Event()
+        self._futexes: dict[Any, list[SimThread]] = {}
+        self._running = False
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    @property
+    def now_ns(self) -> int:
+        """Current virtual time in nanoseconds."""
+        return self.clock.now_ns
+
+    @property
+    def current_thread(self) -> Optional[SimThread]:
+        """The simulated thread currently holding the turn (``None`` inline)."""
+        return self._current
+
+    def spawn(
+        self,
+        target: Callable[..., Any],
+        *args: Any,
+        name: Optional[str] = None,
+        daemon: bool = False,
+        **kwargs: Any,
+    ) -> SimThread:
+        """Create a simulated thread, runnable at the current virtual time."""
+        tid = self._next_tid
+        self._next_tid += 1
+        thread = SimThread(
+            self,
+            tid,
+            target,
+            args,
+            kwargs,
+            name or f"thread-{tid}",
+            daemon,
+        )
+        thread.state = _RUNNABLE
+        self._threads.append(thread)
+        return thread
+
+    # -- the scheduler ------------------------------------------------------
+
+    def _pick_next(self) -> Optional[SimThread]:
+        best: Optional[SimThread] = None
+        for thread in self._threads:
+            if thread.state != _RUNNABLE:
+                continue
+            if best is None or (thread.wake_time, thread.seq) < (
+                best.wake_time,
+                best.seq,
+            ):
+                best = thread
+        return best
+
+    def _live_non_daemon(self) -> list[SimThread]:
+        return [t for t in self._threads if t.is_alive and not t.daemon]
+
+    def run(self) -> None:
+        """Drive the simulation until all non-daemon threads complete.
+
+        Daemon threads still alive at that point are killed.  If a thread
+        raised, its exception is re-raised here.
+        """
+        if self._running:
+            raise SimulationError("simulation is already running")
+        self._running = True
+        try:
+            while self._live_non_daemon():
+                nxt = self._pick_next()
+                if nxt is None:
+                    blocked = [t for t in self._threads if t.state == _BLOCKED]
+                    raise DeadlockError(
+                        "no runnable thread; blocked: "
+                        + ", ".join(repr(t) for t in blocked)
+                    )
+                self.clock.advance_to(nxt.wake_time)
+                self._current = nxt
+                self._sched_event.clear()
+                nxt._resume()
+                self._sched_event.wait()
+                self._current = None
+                if nxt.state == _DONE and nxt.exception is not None:
+                    raise nxt.exception
+        finally:
+            self._kill_remaining()
+            self._running = False
+            self._current = None
+
+    def _kill_remaining(self) -> None:
+        for thread in self._threads:
+            if thread.is_alive and thread._os_thread is not None:
+                thread._killed = True
+                self._sched_event.clear()
+                thread._go.set()
+                self._sched_event.wait()
+            elif thread.is_alive:
+                thread.state = _DONE
+
+    def _on_thread_done(self, thread: SimThread) -> None:
+        self._sched_event.set()
+
+    def _yield_turn(self, thread: SimThread) -> None:
+        """Thread side: give the turn back and wait to be rescheduled."""
+        self._sched_event.set()
+        thread._wait_for_turn()
+
+    # -- primitives available to simulated threads (and inline) -------------
+
+    def compute(self, duration_ns: int) -> None:
+        """Consume ``duration_ns`` of virtual compute time.
+
+        If another runnable thread would start before this slice finishes,
+        the turn is handed over so interleavings stay time-ordered;
+        otherwise the clock simply advances (fast path).
+        """
+        if duration_ns < 0:
+            raise ValueError("negative compute duration")
+        current = self._current
+        deadline = self.clock.now_ns + int(duration_ns)
+        if current is None:
+            # Inline (schedulerless) mode.
+            self.clock.advance_to(deadline)
+            return
+        current.wake_time = deadline
+        current.seq = self._next_seq()
+        current.state = _RUNNABLE
+        nxt = self._pick_next()
+        if nxt is current:
+            current.state = _RUNNING
+            self.clock.advance_to(deadline)
+            return
+        self._yield_turn(current)
+        current.state = _RUNNING
+
+    def yield_now(self) -> None:
+        """Let equally-ready threads run without consuming time."""
+        self.compute(0)
+
+    def block_current(self) -> None:
+        """Block the current thread until another thread wakes it."""
+        current = self._require_thread("block")
+        current.state = _BLOCKED
+        self._yield_turn(current)
+
+    def _require_thread(self, what: str) -> SimThread:
+        if self._current is None:
+            raise SimulationError(
+                f"cannot {what} outside a simulated thread; use sim.spawn()"
+            )
+        return self._current
+
+    # -- futexes -------------------------------------------------------------
+
+    def futex_wait(self, key: Any) -> None:
+        """Block the current thread on ``key`` until a matching wake."""
+        current = self._require_thread("futex_wait")
+        self._futexes.setdefault(key, []).append(current)
+        self.block_current()
+
+    def futex_wake(self, key: Any, count: int = 1) -> int:
+        """Wake up to ``count`` threads blocked on ``key``; returns how many."""
+        queue = self._futexes.get(key)
+        if not queue:
+            return 0
+        woken = 0
+        while queue and woken < count:
+            thread = queue.pop(0)
+            if thread.wake():
+                woken += 1
+        if not queue:
+            self._futexes.pop(key, None)
+        return woken
+
+    def futex_waiters(self, key: Any) -> int:
+        """Number of threads currently blocked on ``key``."""
+        return len(self._futexes.get(key, ()))

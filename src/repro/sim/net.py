@@ -1,0 +1,156 @@
+"""Simulated sockets for client/server workloads.
+
+The TaLoS+nginx and SecureKeeper evaluations run servers under load from
+clients "executed on identical machines connected via a 10 Gbit/s ethernet
+link" (paper §5).  This module provides duplex in-memory sockets between
+simulated threads with syscall-shaped blocking semantics, so server loops
+written against it look like real ``recv``/``send`` code and so blocked
+readers wake deterministically.
+
+Transfer costs model kernel socket-buffer copies; the wire itself is not a
+bottleneck for the reproduced experiments (requests are tiny compared to
+10 Gbit/s), so propagation latency is a small fixed charge.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.kernel import Simulation
+
+# Syscall + copy costs for loopback-ish sockets.
+SEND_BASE_NS = 2_000
+SEND_PER_BYTE_NS = 0.08
+RECV_BASE_NS = 1_800
+RECV_PER_BYTE_NS = 0.05
+WIRE_LATENCY_NS = 8_000  # one-way, 10 GbE + kernel stack
+
+
+class SocketClosed(ConnectionError):
+    """The peer closed the connection."""
+
+
+class SimSocket:
+    """One endpoint of a duplex in-memory connection."""
+
+    def __init__(self, sim: Simulation, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        self._rx = bytearray()
+        self._peer: Optional["SimSocket"] = None
+        self._closed = False
+        self._fresh_burst = False
+
+    @property
+    def closed(self) -> bool:
+        """Whether this endpoint has been closed locally or by the peer."""
+        return self._closed
+
+    def send(self, data: bytes) -> int:
+        """Send ``data`` to the peer; returns the number of bytes sent.
+
+        ``send(2)`` returns once the kernel copied the data into the socket
+        buffer; propagation latency is charged on the *receiving* side when
+        it picks a fresh burst up.
+        """
+        if self._closed or self._peer is None or self._peer._closed:
+            raise SocketClosed(f"{self.name}: send on closed socket")
+        cost = SEND_BASE_NS + SEND_PER_BYTE_NS * len(data)
+        self.sim.compute(self.sim.rng.jitter_ns("net:send", cost))
+        if not self._peer._rx:
+            self._peer._fresh_burst = True
+        self._peer._rx.extend(data)
+        self.sim.futex_wake(("sock", id(self._peer)), count=16)
+        return len(data)
+
+    def recv(self, nbytes: int, blocking: bool = True) -> bytes:
+        """Receive up to ``nbytes``.
+
+        Returns ``b""`` when no data is buffered and either the socket is
+        non-blocking or the peer has closed.  A blocking read on an open,
+        empty socket suspends the calling simulated thread until data (or a
+        close) arrives.
+        """
+        while True:
+            if self._closed:
+                raise SocketClosed(f"{self.name}: recv on closed socket")
+            if self._rx:
+                cost = RECV_BASE_NS + RECV_PER_BYTE_NS * min(nbytes, len(self._rx))
+                if self._fresh_burst:
+                    cost += WIRE_LATENCY_NS
+                    self._fresh_burst = False
+                self.sim.compute(self.sim.rng.jitter_ns("net:recv", cost))
+                data = bytes(self._rx[:nbytes])
+                del self._rx[:nbytes]
+                return data
+            if self._peer is None or self._peer._closed:
+                return b""
+            if not blocking:
+                # EAGAIN: the syscall itself still costs time.
+                self.sim.compute(self.sim.rng.jitter_ns("net:eagain", RECV_BASE_NS))
+                return b""
+            self.sim.futex_wait(("sock", id(self)))
+
+    def pending(self) -> int:
+        """Number of buffered, unread bytes."""
+        return len(self._rx)
+
+    def eof(self) -> bool:
+        """True when the peer closed and no buffered data remains."""
+        return not self._rx and (self._peer is None or self._peer._closed)
+
+    def close(self) -> None:
+        """Close this endpoint and wake any blocked peer reader."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._peer is not None:
+            self.sim.futex_wake(("sock", id(self._peer)), count=16)
+            self.sim.futex_wake(("sock", id(self)), count=16)
+
+    def __repr__(self) -> str:
+        return f"SimSocket({self.name!r}, rx={len(self._rx)}B, closed={self._closed})"
+
+
+def socket_pair(sim: Simulation, name: str = "conn") -> tuple[SimSocket, SimSocket]:
+    """Create a connected pair of sockets (client end, server end)."""
+    a = SimSocket(sim, f"{name}:client")
+    b = SimSocket(sim, f"{name}:server")
+    a._peer = b
+    b._peer = a
+    return a, b
+
+
+class Listener:
+    """Server-side accept queue, like a listening TCP socket."""
+
+    def __init__(self, sim: Simulation, name: str = "listener") -> None:
+        self.sim = sim
+        self.name = name
+        self._backlog: list[SimSocket] = []
+        self._closed = False
+
+    def connect(self) -> SimSocket:
+        """Client side: establish a connection; returns the client endpoint."""
+        if self._closed:
+            raise SocketClosed(f"{self.name}: connect to closed listener")
+        client, server = socket_pair(self.sim, self.name)
+        self.sim.compute(self.sim.rng.jitter_ns("net:connect", 30_000))
+        self._backlog.append(server)
+        self.sim.futex_wake(("listener", id(self)), count=16)
+        return client
+
+    def accept(self, blocking: bool = True) -> Optional[SimSocket]:
+        """Server side: pop a pending connection, blocking if requested."""
+        while True:
+            if self._backlog:
+                self.sim.compute(self.sim.rng.jitter_ns("net:accept", 4_000))
+                return self._backlog.pop(0)
+            if self._closed or not blocking:
+                return None
+            self.sim.futex_wait(("listener", id(self)))
+
+    def close(self) -> None:
+        """Stop accepting connections and wake blocked acceptors."""
+        self._closed = True
+        self.sim.futex_wake(("listener", id(self)), count=64)

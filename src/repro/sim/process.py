@@ -1,0 +1,124 @@
+"""The simulated untrusted process.
+
+A :class:`SimProcess` bundles everything one SGX application owns: the
+loader (with its preload chain), the virtual OS, POSIX-style signal
+dispatch, threads, and — once :mod:`repro.sdk.urts` creates them — its
+enclaves.
+
+The process provides a miniature ``libc`` library exposing the symbols
+sgx-perf interposes on besides ``sgx_ecall``:
+
+* ``pthread_create`` — so the logger can attribute events to threads it saw
+  being created (paper §4);
+* ``signal`` / ``sigaction`` — so the logger can insert itself ahead of
+  application handlers (needed e.g. for JNI-attached enclaves, §4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.sim.kernel import Simulation, SimThread
+from repro.sim.loader import Library, Loader
+from repro.sim.syscalls import SyscallCosts, VirtualOS
+
+SIGSEGV = 11
+SIGINT = 2
+SIGUSR1 = 10
+
+THREAD_CREATE_COST_NS = 22_000  # clone + pthread bookkeeping
+
+
+class SignalFault(RuntimeError):
+    """A signal was delivered with no handler able to resolve it."""
+
+    def __init__(self, signum: int, info: Any) -> None:
+        super().__init__(f"unhandled signal {signum}: {info}")
+        self.signum = signum
+        self.info = info
+
+
+class SimProcess:
+    """An untrusted application process hosting enclaves."""
+
+    def __init__(
+        self,
+        sim: Optional[Simulation] = None,
+        seed: int = 0,
+        syscall_costs: Optional[SyscallCosts] = None,
+    ) -> None:
+        self.sim = sim or Simulation(seed=seed)
+        self.loader = Loader()
+        self.os = VirtualOS(self.sim, syscall_costs)
+        self._signal_handlers: dict[int, Callable[[int, Any], Any]] = {}
+        self.enclaves: dict[int, Any] = {}
+        self.threads: list[SimThread] = []
+        self.loader.load(self._build_libc())
+
+    # -- libc ------------------------------------------------------------------
+
+    def _build_libc(self) -> Library:
+        return Library(
+            "libc.so.6",
+            {
+                "pthread_create": self._libc_pthread_create,
+                "signal": self._libc_signal,
+                "sigaction": self._libc_sigaction,
+            },
+        )
+
+    def _libc_pthread_create(
+        self, target: Callable[..., Any], *args: Any, name: Optional[str] = None
+    ) -> SimThread:
+        self.sim.compute(self.sim.rng.jitter_ns("libc:pthread_create", THREAD_CREATE_COST_NS))
+        thread = self.sim.spawn(target, *args, name=name)
+        self.threads.append(thread)
+        return thread
+
+    def _libc_signal(
+        self, signum: int, handler: Optional[Callable[[int, Any], Any]]
+    ) -> Optional[Callable[[int, Any], Any]]:
+        previous = self._signal_handlers.get(signum)
+        if handler is None:
+            self._signal_handlers.pop(signum, None)
+        else:
+            self._signal_handlers[signum] = handler
+        return previous
+
+    def _libc_sigaction(
+        self, signum: int, handler: Optional[Callable[[int, Any], Any]]
+    ) -> Optional[Callable[[int, Any], Any]]:
+        # In the model, sigaction only differs from signal() in its C API
+        # shape, which the symbol-level interposition does not depend on.
+        return self._libc_signal(signum, handler)
+
+    # -- public API --------------------------------------------------------------
+
+    def pthread_create(
+        self, target: Callable[..., Any], *args: Any, name: Optional[str] = None
+    ) -> SimThread:
+        """Create an application thread through the (interposable) loader."""
+        return self.loader.call("pthread_create", target, *args, name=name)
+
+    def register_signal_handler(
+        self, signum: int, handler: Optional[Callable[[int, Any], Any]]
+    ) -> Optional[Callable[[int, Any], Any]]:
+        """Register a handler through the (interposable) ``sigaction`` symbol."""
+        return self.loader.call("sigaction", signum, handler)
+
+    def deliver_signal(self, signum: int, info: Any = None) -> Any:
+        """Deliver a signal to the current handler.
+
+        Handlers return a truthy value when they resolved the condition
+        (e.g. a fault handler that restored page permissions); delivering a
+        fault signal nobody handles raises :class:`SignalFault`, the moral
+        equivalent of the default disposition killing the process.
+        """
+        handler = self._signal_handlers.get(signum)
+        if handler is None:
+            raise SignalFault(signum, info)
+        return handler(signum, info)
+
+    def has_signal_handler(self, signum: int) -> bool:
+        """Whether any handler is installed for ``signum``."""
+        return signum in self._signal_handlers

@@ -1,0 +1,7 @@
+"""The four evaluated applications (paper §5.2).
+
+* :mod:`repro.workloads.talos` — enclavised TLS library + nginx host
+* :mod:`repro.workloads.minisql` — embedded SQL engine, syscalls as ocalls
+* :mod:`repro.workloads.glamdring` — partitioned bignum signing
+* :mod:`repro.workloads.securekeeper` — encrypting ZooKeeper proxy
+"""

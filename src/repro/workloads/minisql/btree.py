@@ -1,0 +1,268 @@
+"""B-tree over pager pages (the minisql storage engine).
+
+Keys and values are byte strings; nodes are serialised into 4 KiB pager
+pages (SQLite-style, if considerably simplified: no overflow pages, lazy
+deletes without rebalancing).  Splits propagate upward; a root split
+allocates a new root and updates :attr:`BTree.root_page`.
+
+An optional ``charge`` hook receives virtual-nanosecond costs per node
+visit and per node rewrite, so the engine's compute shows up in traces.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Iterator, Optional
+
+from repro.workloads.minisql.pager import PAGE_SIZE, Pager
+
+LEAF = 1
+INTERIOR = 2
+
+_HEADER = struct.Struct(">BHI")  # type, nkeys, rightmost child
+MAX_PAYLOAD = 1024
+
+NODE_VISIT_NS = 450
+NODE_WRITE_NS = 800
+
+
+class BTreeError(RuntimeError):
+    """Storage-format violation (oversized payload, corrupt node)."""
+
+
+class _Node:
+    __slots__ = ("node_type", "keys", "values", "children", "rightmost")
+
+    def __init__(self, node_type: int) -> None:
+        self.node_type = node_type
+        self.keys: list[bytes] = []
+        self.values: list[bytes] = []  # leaf only
+        self.children: list[int] = []  # interior only, parallel to keys
+        self.rightmost = 0  # interior only
+
+    @classmethod
+    def parse(cls, raw: bytes) -> "_Node":
+        node_type, nkeys, rightmost = _HEADER.unpack_from(raw, 0)
+        if node_type not in (LEAF, INTERIOR):
+            raise BTreeError(f"bad node type {node_type}")
+        node = cls(node_type)
+        node.rightmost = rightmost
+        offset = _HEADER.size
+        for _ in range(nkeys):
+            (key_len,) = struct.unpack_from(">H", raw, offset)
+            offset += 2
+            key = bytes(raw[offset : offset + key_len])
+            offset += key_len
+            node.keys.append(key)
+            if node_type == LEAF:
+                (val_len,) = struct.unpack_from(">H", raw, offset)
+                offset += 2
+                node.values.append(bytes(raw[offset : offset + val_len]))
+                offset += val_len
+            else:
+                (child,) = struct.unpack_from(">I", raw, offset)
+                offset += 4
+                node.children.append(child)
+        return node
+
+    def serialize(self) -> bytes:
+        parts = [_HEADER.pack(self.node_type, len(self.keys), self.rightmost)]
+        for i, key in enumerate(self.keys):
+            parts.append(struct.pack(">H", len(key)))
+            parts.append(key)
+            if self.node_type == LEAF:
+                value = self.values[i]
+                parts.append(struct.pack(">H", len(value)))
+                parts.append(value)
+            else:
+                parts.append(struct.pack(">I", self.children[i]))
+        raw = b"".join(parts)
+        if len(raw) > PAGE_SIZE:
+            raise BTreeError("node overflow at serialisation time")
+        return raw.ljust(PAGE_SIZE, b"\x00")
+
+    def size_bytes(self) -> int:
+        total = _HEADER.size
+        for i, key in enumerate(self.keys):
+            total += 2 + len(key)
+            total += (2 + len(self.values[i])) if self.node_type == LEAF else 4
+        return total
+
+
+class BTree:
+    """One B-tree (a table or the catalog) rooted at ``root_page``."""
+
+    def __init__(
+        self,
+        pager: Pager,
+        root_page: Optional[int] = None,
+        charge: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.pager = pager
+        self._charge = charge or (lambda ns: None)
+        if root_page is None:
+            root_page = pager.allocate_page()
+            self._write_node(root_page, _Node(LEAF))
+        self.root_page = root_page
+
+    # -- node I/O ----------------------------------------------------------
+
+    def _read_node(self, page_no: int) -> _Node:
+        self._charge(NODE_VISIT_NS)
+        return _Node.parse(self.pager.get(page_no))
+
+    def _write_node(self, page_no: int, node: _Node) -> None:
+        self._charge(NODE_WRITE_NS)
+        page = self.pager.get_writable(page_no)
+        page[:] = node.serialize()
+
+    # -- operations -----------------------------------------------------------
+
+    def insert(self, key: bytes, value: bytes) -> None:
+        """Insert or replace ``key`` → ``value``."""
+        if len(key) + len(value) > MAX_PAYLOAD:
+            raise BTreeError(f"payload too large ({len(key) + len(value)} bytes)")
+        split = self._insert(self.root_page, key, value)
+        if split is not None:
+            middle_key, right_page = split
+            new_root = _Node(INTERIOR)
+            new_root.keys = [middle_key]
+            new_root.children = [self.root_page]
+            new_root.rightmost = right_page
+            new_root_page = self.pager.allocate_page()
+            self._write_node(new_root_page, new_root)
+            self.root_page = new_root_page
+
+    def _insert(
+        self, page_no: int, key: bytes, value: bytes
+    ) -> Optional[tuple[bytes, int]]:
+        node = self._read_node(page_no)
+        if node.node_type == LEAF:
+            index = _lower_bound(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index] = value
+            else:
+                node.keys.insert(index, key)
+                node.values.insert(index, value)
+            if node.size_bytes() > PAGE_SIZE:
+                return self._split_leaf(page_no, node)
+            self._write_node(page_no, node)
+            return None
+        index = _lower_bound(node.keys, key)
+        child = node.children[index] if index < len(node.keys) else node.rightmost
+        split = self._insert(child, key, value)
+        if split is None:
+            return None
+        middle_key, right_page = split
+        node.keys.insert(index, middle_key)
+        node.children.insert(index, child)
+        if index < len(node.children) - 1:
+            node.children[index + 1] = right_page
+        else:
+            node.rightmost = right_page
+        if node.size_bytes() > PAGE_SIZE:
+            return self._split_interior(page_no, node)
+        self._write_node(page_no, node)
+        return None
+
+    def _split_leaf(self, page_no: int, node: _Node) -> tuple[bytes, int]:
+        half = len(node.keys) // 2
+        right = _Node(LEAF)
+        right.keys = node.keys[half:]
+        right.values = node.values[half:]
+        node.keys = node.keys[:half]
+        node.values = node.values[:half]
+        right_page = self.pager.allocate_page()
+        self._write_node(page_no, node)
+        self._write_node(right_page, right)
+        return node.keys[-1], right_page
+
+    def _split_interior(self, page_no: int, node: _Node) -> tuple[bytes, int]:
+        half = len(node.keys) // 2
+        middle_key = node.keys[half]
+        right = _Node(INTERIOR)
+        right.keys = node.keys[half + 1 :]
+        right.children = node.children[half + 1 :]
+        right.rightmost = node.rightmost
+        node.rightmost = node.children[half]
+        node.keys = node.keys[:half]
+        node.children = node.children[:half]
+        right_page = self.pager.allocate_page()
+        self._write_node(page_no, node)
+        self._write_node(right_page, right)
+        return middle_key, right_page
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Point lookup; ``None`` if absent."""
+        page_no = self.root_page
+        while True:
+            node = self._read_node(page_no)
+            index = _lower_bound(node.keys, key)
+            if node.node_type == LEAF:
+                if index < len(node.keys) and node.keys[index] == key:
+                    return node.values[index]
+                return None
+            page_no = node.children[index] if index < len(node.keys) else node.rightmost
+
+    def delete(self, key: bytes) -> bool:
+        """Remove ``key`` (lazy: leaves may underflow); True if it existed."""
+        page_no = self.root_page
+        path: list[int] = []
+        while True:
+            node = self._read_node(page_no)
+            index = _lower_bound(node.keys, key)
+            if node.node_type == LEAF:
+                if index < len(node.keys) and node.keys[index] == key:
+                    node.keys.pop(index)
+                    node.values.pop(index)
+                    self._write_node(page_no, node)
+                    return True
+                return False
+            path.append(page_no)
+            page_no = node.children[index] if index < len(node.keys) else node.rightmost
+
+    def max_key(self) -> Optional[bytes]:
+        """Largest key in the tree.
+
+        Descends the rightmost spine; if lazy deletes emptied that leaf,
+        falls back to a full scan.
+        """
+        page_no = self.root_page
+        while True:
+            node = self._read_node(page_no)
+            if node.node_type == LEAF:
+                if node.keys:
+                    return node.keys[-1]
+                best: Optional[bytes] = None
+                for key, _ in self.scan():
+                    if best is None or key > best:
+                        best = key
+                return best
+            page_no = node.rightmost
+
+    def scan(self) -> Iterator[tuple[bytes, bytes]]:
+        """In-order iteration over all (key, value) pairs."""
+        yield from self._scan(self.root_page)
+
+    def _scan(self, page_no: int) -> Iterator[tuple[bytes, bytes]]:
+        node = self._read_node(page_no)
+        if node.node_type == LEAF:
+            yield from zip(node.keys, node.values)
+            return
+        for i, child in enumerate(node.children):
+            yield from self._scan(child)
+        yield from self._scan(node.rightmost)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.scan())
+
+
+def _lower_bound(keys: list[bytes], key: bytes) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,154 @@
+"""Virtual File System layer of the minisql engine.
+
+SQLite talks to storage through a VFS; on Linux its write path issues
+separate ``lseek`` and ``write`` system calls — which, inside an enclave
+with "system calls naïvely implemented as ocalls" (paper §5.2.2), become
+separate *ocalls*.  That is the SDSC anti-pattern sgx-perf detected, and
+merging the pair into one positioned-I/O ocall is the optimisation that
+recovered 33 %.
+
+Three implementations:
+
+* :class:`OsVfs` — direct syscalls (the native build).  ``seek_io=True``
+  keeps SQLite's historical lseek+read/lseek+write behaviour; ``False``
+  uses pread/pwrite.
+* :class:`OcallVfs` — the naïve enclave build: every syscall is its own
+  ocall, including the separate ``lseek``.
+* :class:`MergedOcallVfs` — the optimised enclave build: positioned
+  ``pread``/``pwrite`` ocalls, one transition per I/O.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.sdk.trts import TrustedContext
+from repro.sim.syscalls import VirtualOS
+
+
+class Vfs(Protocol):
+    """Positioned-I/O file interface the pager consumes."""
+
+    def open(self, path: str) -> int:
+        """Open (creating if needed); returns a handle."""
+
+    def read(self, handle: int, offset: int, nbytes: int) -> bytes:
+        """Read ``nbytes`` at ``offset``."""
+
+    def write(self, handle: int, offset: int, data: bytes) -> int:
+        """Write ``data`` at ``offset``."""
+
+    def sync(self, handle: int) -> None:
+        """Flush to stable storage."""
+
+    def truncate(self, handle: int, length: int) -> None:
+        """Truncate/extend to ``length`` bytes."""
+
+    def size(self, handle: int) -> int:
+        """Current file size."""
+
+    def close(self, handle: int) -> None:
+        """Close the handle."""
+
+
+class OsVfs:
+    """Native build: syscalls against the (virtual) OS."""
+
+    def __init__(self, os: VirtualOS, seek_io: bool = True) -> None:
+        self.os = os
+        self.seek_io = seek_io
+        self._sizes: dict[int, int] = {}
+
+    def open(self, path: str) -> int:
+        fd = self.os.open(path)
+        self._sizes[fd] = self.os.file_size(path)
+        return fd
+
+    def read(self, handle: int, offset: int, nbytes: int) -> bytes:
+        if self.seek_io:
+            self.os.lseek(handle, offset)
+            return self.os.read(handle, nbytes)
+        return self.os.pread(handle, nbytes, offset)
+
+    def write(self, handle: int, offset: int, data: bytes) -> int:
+        if self.seek_io:
+            self.os.lseek(handle, offset)
+            written = self.os.write(handle, data)
+        else:
+            written = self.os.pwrite(handle, data, offset)
+        self._sizes[handle] = max(self._sizes.get(handle, 0), offset + written)
+        return written
+
+    def sync(self, handle: int) -> None:
+        self.os.fsync(handle)
+
+    def truncate(self, handle: int, length: int) -> None:
+        self.os.ftruncate(handle, length)
+        self._sizes[handle] = length
+
+    def size(self, handle: int) -> int:
+        return self._sizes.get(handle, 0)
+
+    def close(self, handle: int) -> None:
+        self.os.close(handle)
+        self._sizes.pop(handle, None)
+
+
+class OcallVfs:
+    """Naïve enclave build: one ocall per syscall, seek and I/O separate.
+
+    This reproduces SQLite-on-Linux inside an enclave: ``read``/``write``
+    are *preceded by a distinct lseek ocall*, exactly the pattern §5.2.2's
+    analysis flags for merging.
+    """
+
+    def __init__(self, ctx_provider) -> None:
+        # ctx_provider() returns the TrustedContext of the current ecall —
+        # the engine lives inside the enclave and the context changes per
+        # ecall.
+        self._ctx = ctx_provider
+        self._sizes: dict[int, int] = {}
+
+    def open(self, path: str) -> int:
+        ctx: TrustedContext = self._ctx()
+        handle = ctx.ocall("ocall_open", path, len(path))
+        self._sizes[handle] = ctx.ocall("ocall_fsize", handle)
+        return handle
+
+    def read(self, handle: int, offset: int, nbytes: int) -> bytes:
+        ctx = self._ctx()
+        ctx.ocall("ocall_lseek", handle, offset)
+        return ctx.ocall("ocall_read", handle, nbytes)
+
+    def write(self, handle: int, offset: int, data: bytes) -> int:
+        ctx = self._ctx()
+        ctx.ocall("ocall_lseek", handle, offset)
+        written = ctx.ocall("ocall_write", handle, data, len(data))
+        self._sizes[handle] = max(self._sizes.get(handle, 0), offset + written)
+        return written
+
+    def sync(self, handle: int) -> None:
+        self._ctx().ocall("ocall_fsync", handle)
+
+    def truncate(self, handle: int, length: int) -> None:
+        self._ctx().ocall("ocall_ftruncate", handle, length)
+        self._sizes[handle] = length
+
+    def size(self, handle: int) -> int:
+        return self._sizes.get(handle, 0)
+
+    def close(self, handle: int) -> None:
+        self._ctx().ocall("ocall_close", handle)
+        self._sizes.pop(handle, None)
+
+
+class MergedOcallVfs(OcallVfs):
+    """Optimised enclave build: positioned-I/O ocalls (lseek merged away)."""
+
+    def read(self, handle: int, offset: int, nbytes: int) -> bytes:
+        return self._ctx().ocall("ocall_pread", handle, nbytes, offset)
+
+    def write(self, handle: int, offset: int, data: bytes) -> int:
+        written = self._ctx().ocall("ocall_pwrite", handle, data, offset, len(data))
+        self._sizes[handle] = max(self._sizes.get(handle, 0), offset + written)
+        return written

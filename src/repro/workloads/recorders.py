@@ -1,0 +1,82 @@
+"""Recorders: run a bundled workload under the event logger.
+
+Each recorder is the moral equivalent of
+``LD_PRELOAD=libsgxperf.so ./application`` — it builds the workload, preloads
+the logger into its process, runs a representative load and writes the
+trace database to the given path.  The ``sgxperf record`` CLI dispatches
+here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.perf.logger import AexMode, EventLogger
+from repro.sgx.device import SgxDevice
+from repro.sim.process import SimProcess
+
+
+def record_talos(db_path: str, seed: int = 0, requests: int = 300) -> None:
+    """TaLoS + nginx serving HTTPS GETs (paper §5.2.1)."""
+    from repro.workloads.talos import TalosApp, run_talos_nginx
+
+    process = SimProcess(seed=seed)
+    device = SgxDevice(process.sim)
+    app = TalosApp(process, device)
+    with EventLogger(process, app.urts, database=db_path, aex_mode=AexMode.COUNT):
+        run_talos_nginx(requests=requests, process=process, device=device, app=app)
+
+
+def record_sqlite(db_path: str, seed: int = 0, requests: int = 400) -> None:
+    """Enclavised minisql replaying git commits (paper §5.2.2)."""
+    from repro.workloads.minisql import SQLITE_SYSCALL_COSTS, SqlBuild
+    from repro.workloads.minisql.enclavised import EnclavedSqlApp
+    from repro.workloads.minisql.workload import CREATE_SQL, _insert_sql, commit_stream
+
+    process = SimProcess(seed=seed, syscall_costs=SQLITE_SYSCALL_COSTS)
+    device = SgxDevice(process.sim)
+    app = EnclavedSqlApp(process, device, SqlBuild.ENCLAVE)
+    with EventLogger(process, app.urts, database=db_path, aex_mode=AexMode.COUNT):
+        app.open("trace.db")
+        app.execute(CREATE_SQL)
+        for index, (sha, author, message) in enumerate(commit_stream(requests, seed)):
+            app.execute(_insert_sql(sha, author, message, index))
+        app.close()
+
+
+def record_glamdring(db_path: str, seed: int = 0, signs: int = 4) -> None:
+    """Glamdring-partitioned signing (paper §5.2.3)."""
+    from repro.workloads.glamdring import GlamdringSigner, SignerBuild, make_certificate
+
+    process = SimProcess(seed=seed)
+    device = SgxDevice(process.sim)
+    signer = GlamdringSigner(process, device, SignerBuild.PARTITIONED)
+    with EventLogger(process, signer.urts, database=db_path, aex_mode=AexMode.COUNT):
+        for serial in range(signs):
+            signer.sign(make_certificate(serial))
+    signer.close()
+
+
+def record_securekeeper(db_path: str, seed: int = 0, operations: int = 40) -> None:
+    """SecureKeeper under full load (paper §5.2.4)."""
+    from repro.workloads.securekeeper import SecureKeeperProxy, run_securekeeper_load
+
+    process = SimProcess(seed=seed)
+    device = SgxDevice(process.sim)
+    proxy = SecureKeeperProxy(process, device, tcs_count=16)
+    with EventLogger(process, proxy.urts, database=db_path, aex_mode=AexMode.COUNT):
+        run_securekeeper_load(
+            clients=8,
+            operations_per_client=operations,
+            process=process,
+            device=device,
+            proxy=proxy,
+        )
+
+
+REGISTRY: dict[str, Callable[[str, int], None]] = {
+    "talos": record_talos,
+    "sqlite": record_sqlite,
+    "glamdring": record_glamdring,
+    "securekeeper": record_securekeeper,
+}

@@ -1,0 +1,145 @@
+"""Load generator for the SecureKeeper experiment (paper §5.2.4).
+
+Reproduces the paper's measurement setup: a single SecureKeeper instance
+under full load from concurrently connected clients.  All clients connect
+simultaneously at benchmark start — creating the contention on the
+enclave's connection map that produced the 18 synchronisation ocalls the
+paper observed — then issue create/get operations whose payloads really
+round-trip through the proxy's encryption.
+
+Each operation costs two ecalls: one for the client packet on its way to
+ZooKeeper, one for the response on its way back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.crypto.hmac import hkdf_like
+from repro.crypto.sha256 import sha256
+from repro.crypto.stream import stream_xor
+from repro.sgx.device import SgxDevice
+from repro.sim.process import SimProcess
+from repro.workloads.securekeeper.proxy import (
+    MSG_CONNECT,
+    MSG_REQUEST,
+    SecureKeeperProxy,
+)
+from repro.workloads.securekeeper.zookeeper import ZkRequest, ZkResponse, ZkServer
+
+CLIENT_THINK_NS = 24_000  # client-side work + network between operations
+
+
+class LoadError(AssertionError):
+    """A payload failed to round-trip through the proxy."""
+
+
+@dataclass
+class SecureKeeperLoadResult:
+    """Outcome of one load run."""
+
+    clients: int
+    operations: int
+    ecalls: int
+    virtual_seconds: float
+    operations_per_second: float
+    verified_gets: int
+    sync_stats: dict = field(default_factory=dict)
+
+
+def _packet_nonce(path: bytes) -> bytes:
+    # Deterministic per-path nonce so a later get decrypts what create
+    # stored (SecureKeeper likewise derives nonces from path metadata).
+    return sha256(path)[:8]
+
+
+def _client_packet(client_id: int, key: bytes, request: ZkRequest) -> bytes:
+    nonce = _packet_nonce(request.path)
+    body = stream_xor(key, nonce, request.encode())
+    return (
+        client_id.to_bytes(4, "big")
+        + bytes([MSG_REQUEST])
+        + nonce
+        + body
+    )
+
+
+def run_securekeeper_load(
+    clients: int = 8,
+    operations_per_client: int = 60,
+    payload_bytes: int = 512,
+    seed: int = 0,
+    process: Optional[SimProcess] = None,
+    device: Optional[SgxDevice] = None,
+    proxy: Optional[SecureKeeperProxy] = None,
+) -> SecureKeeperLoadResult:
+    """Run the full-load benchmark; returns throughput and verification counts."""
+    process = process or SimProcess(seed=seed)
+    device = device or SgxDevice(process.sim)
+    sim = process.sim
+    proxy = proxy or SecureKeeperProxy(process, device, tcs_count=max(4, clients * 2))
+    zk = ZkServer(sim)
+    master = proxy.trusted.master_key
+    verified = {"gets": 0, "ops": 0}
+
+    def do_operation(client_id: int, key: bytes, request: ZkRequest) -> ZkResponse:
+        packet = _client_packet(client_id, key, request)
+        zk_bound = proxy.input_from_client(packet)
+        if zk_bound.startswith(b"\x00ERR"):
+            raise LoadError(f"proxy rejected request: {zk_bound!r}")
+        raw_response = zk.handle(zk_bound[12:])
+        zk_packet = zk_bound[:12] + raw_response
+        client_bound = proxy.input_from_zookeeper(zk_packet)
+        nonce, encrypted = client_bound[:8], client_bound[8:]
+        plain = stream_xor(key, nonce, encrypted)
+        verified["ops"] += 1
+        return ZkResponse.decode(plain)
+
+    def client_main(client_id: int) -> None:
+        key = hkdf_like(master, b"client" + client_id.to_bytes(4, "big"))
+        connect = client_id.to_bytes(4, "big") + bytes([MSG_CONNECT]) + b"\x00" * 8
+        reply = proxy.input_from_client(connect)
+        if not reply.startswith(b"\x01OK"):
+            raise LoadError(f"connect failed for client {client_id}: {reply!r}")
+        value_of: dict[bytes, bytes] = {}
+        for op_index in range(operations_per_client):
+            path = f"/bench/c{client_id}/node{op_index // 2}".encode()
+            if op_index % 2 == 0:
+                payload = bytes(
+                    (client_id * 31 + op_index + i) % 256 for i in range(payload_bytes)
+                )
+                value_of[path] = payload
+                response = do_operation(
+                    client_id, key, ZkRequest(op="create", path=path, payload=payload)
+                )
+                if not response.ok:
+                    raise LoadError(f"create failed for {path!r}")
+            else:
+                response = do_operation(client_id, key, ZkRequest(op="get", path=path))
+                if not response.ok:
+                    raise LoadError(f"get failed for {path!r}")
+                if response.payload != value_of[path]:
+                    raise LoadError(f"payload mismatch for {path!r}")
+                verified["gets"] += 1
+            sim.compute(sim.rng.heavy_tail_ns("sk:think", CLIENT_THINK_NS))
+
+    start = sim.now_ns
+    for client_id in range(clients):
+        process.pthread_create(client_main, client_id, name=f"sk-client-{client_id}")
+    sim.run()
+    elapsed = sim.now_ns - start
+
+    runtime = proxy.urts.runtime(proxy.handle.enclave_id)
+    map_mutex = runtime.mutex("connection_map")
+    total_ops = clients * operations_per_client
+    seconds = elapsed / 1e9
+    return SecureKeeperLoadResult(
+        clients=clients,
+        operations=total_ops,
+        ecalls=proxy.trusted.stats["client_inputs"] + proxy.trusted.stats["zk_inputs"],
+        virtual_seconds=seconds,
+        operations_per_second=total_ops / seconds if seconds else 0.0,
+        verified_gets=verified["gets"],
+        sync_stats=dict(map_mutex.stats),
+    )

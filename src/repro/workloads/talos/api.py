@@ -1,0 +1,226 @@
+"""The TaLoS enclave interface: the OpenSSL API surface as EDL.
+
+TaLoS exposes the *OpenSSL interface itself* as its ecall interface so it
+can be a drop-in replacement (paper §5.2.1) — which is exactly why its
+enclave interface is so chatty: 207 ecalls and 61 ocalls, of which an
+nginx workload exercises 61 and 10 respectively.
+
+This module reproduces that surface: the OpenSSL-named ecalls (prefixed
+``sgx_ecall_`` like TaLoS does), the ``enclave_ocall_*`` ocalls, and the
+EDL definition built from both.
+"""
+
+from __future__ import annotations
+
+from repro.sdk.edl import Direction, EcallDecl, EnclaveDefinition, OcallDecl, Param
+
+# The ecalls the nginx workload actually calls (61 distinct, §5.2.1).
+CORE_ECALLS = [
+    "SSL_new",
+    "SSL_set_fd",
+    "SSL_set_accept_state",
+    "SSL_do_handshake",
+    "SSL_read",
+    "SSL_write",
+    "SSL_get_error",
+    "SSL_get_rbio",
+    "SSL_shutdown",
+    "SSL_free",
+    "SSL_set_quiet_shutdown",
+    "ERR_peek_error",
+    "ERR_clear_error",
+    "BIO_int_ctrl",
+]
+
+# Maintenance/periodic calls nginx makes every few requests (session cache
+# management, cipher queries, certificate staples, ...).
+PERIODIC_ECALLS = [
+    "SSL_CTX_ctrl",
+    "SSL_version",
+    "SSL_pending",
+    "SSL_state",
+    "SSL_get_version",
+    "SSL_get_current_cipher",
+    "SSL_CIPHER_get_name",
+    "SSL_CTX_set_verify",
+    "SSL_CTX_set_session_cache_mode",
+    "SSL_CTX_sess_set_cache_size",
+    "SSL_get_peer_certificate",
+    "SSL_session_reused",
+    "SSL_get_session",
+    "SSL_set_session",
+    "SSL_CTX_set_timeout",
+    "SSL_CTX_flush_sessions",
+    "SSL_get_shutdown",
+    "SSL_set_shutdown",
+    "SSL_ctrl",
+    "SSL_get_servername",
+    "SSL_select_next_proto",
+    "SSL_get_ex_data",
+    "SSL_set_ex_data",
+    "X509_free",
+    "X509_get_subject_name",
+    "X509_NAME_oneline",
+    "X509_get_issuer_name",
+    "X509_verify_cert_error_string",
+    "EVP_PKEY_free",
+    "EVP_cleanup",
+    "EVP_MD_CTX_create",
+    "EVP_MD_CTX_destroy",
+    "EVP_sha256",
+    "RAND_seed",
+    "RAND_bytes",
+    "BIO_new",
+    "BIO_free",
+    "BIO_ctrl",
+    "BIO_read",
+    "BIO_write",
+    "ERR_get_error",
+    "ERR_error_string_n",
+    "ERR_free_strings",
+    "OPENSSL_config",
+    "CRYPTO_free",
+    "CRYPTO_malloc",
+    "SSL_load_error_strings",
+]
+
+# The remainder of the OpenSSL surface TaLoS wraps but nginx never calls.
+_UNUSED_FAMILIES = {
+    "SSL_CTX": [
+        "new", "free", "use_certificate_file", "use_PrivateKey_file",
+        "check_private_key", "set_cipher_list", "set_options",
+        "set_info_callback", "set_alpn_select_cb", "set_tlsext_servername_callback",
+        "set_next_protos_advertised_cb", "set_default_passwd_cb",
+        "load_verify_locations", "set_client_CA_list", "get_cert_store",
+        "set_ex_data", "get_ex_data", "set_msg_callback", "set_read_ahead",
+        "set_mode",
+    ],
+    "SSL": [
+        "accept", "connect", "clear", "dup", "get_certificate", "get_ciphers",
+        "get_fd", "get_rfd", "get_wfd", "get_verify_result", "set_bio",
+        "set_cipher_list", "set_connect_state", "set_verify", "use_certificate",
+        "use_PrivateKey", "want", "peek", "renegotiate", "set_info_callback",
+        "get_SSL_CTX", "set_SSL_CTX", "set_tlsext_host_name", "get_finished",
+        "get_peer_finished", "copy_session_id", "cache_hit", "set_msg_callback",
+        "set_mtu", "get_default_timeout",
+    ],
+    "X509": [
+        "new", "dup", "digest", "get_serialNumber", "get_pubkey", "verify",
+        "check_host", "get_ext", "get_ext_count", "add_ext", "sign",
+        "get_notBefore", "get_notAfter", "cmp", "print",
+        "STORE_new", "STORE_free", "STORE_add_cert", "NAME_free", "NAME_cmp",
+        "NAME_entry_count", "NAME_get_entry", "PURPOSE_get_by_sname",
+        "LOOKUP_file", "STORE_CTX_new",
+    ],
+    "EVP": [
+        "PKEY_new", "PKEY_assign", "PKEY_size", "DigestInit_ex",
+        "DigestUpdate", "DigestFinal_ex", "EncryptInit_ex", "EncryptUpdate",
+        "EncryptFinal_ex", "DecryptInit_ex", "DecryptUpdate", "DecryptFinal_ex",
+        "CipherInit_ex", "CIPHER_CTX_new", "CIPHER_CTX_free", "aes_128_gcm",
+        "aes_256_gcm", "md5", "sha1", "sha512", "get_digestbyname",
+        "get_cipherbyname", "PKEY_get1_RSA", "PKEY_set1_RSA", "BytesToKey",
+    ],
+    "MISC": [
+        "PEM_read_bio_X509", "PEM_read_bio_PrivateKey", "PEM_write_bio_X509",
+        "RSA_new", "RSA_free", "RSA_generate_key_ex", "RSA_size",
+        "DH_new", "DH_free", "DH_generate_parameters_ex",
+        "EC_KEY_new_by_curve_name", "EC_KEY_free",
+        "BN_new", "BN_free", "BN_bin2bn", "BN_bn2bin",
+        "CRYPTO_set_locking_callback", "CRYPTO_num_locks",
+        "OBJ_nid2sn", "OBJ_sn2nid", "OPENSSL_add_all_algorithms_noconf",
+        "SSLeay", "SSLeay_version", "d2i_SSL_SESSION", "i2d_SSL_SESSION",
+        "sk_num", "sk_value", "sk_free",
+    ],
+}
+
+TOTAL_ECALLS = 207
+# Ocalls: 10 used by the workload + unused wrappers + 4 SDK sync = 61.
+USED_OCALLS = [
+    "enclave_ocall_read",
+    "enclave_ocall_write",
+    "enclave_ocall_execute_ssl_ctx_info_callback",
+    "enclave_ocall_alpn_select_cb",
+    "enclave_ocall_time",
+    "enclave_ocall_errno",
+    "enclave_ocall_getpid",
+    "enclave_ocall_malloc",
+    "enclave_ocall_free",
+    "enclave_ocall_print",
+]
+_UNUSED_OCALLS = [
+    "enclave_ocall_" + name
+    for name in (
+        "open", "close", "lseek", "fstat", "stat", "unlink", "rename",
+        "socket", "bind", "listen", "accept", "connect", "setsockopt",
+        "getsockopt", "getsockname", "getpeername", "select", "poll",
+        "epoll_wait", "sendfile", "mmap", "munmap", "sysconf", "getuid",
+        "getenv", "gettimeofday", "clock_gettime", "nanosleep", "sched_yield",
+        "pthread_self", "sigaction", "fcntl", "ioctl", "dup2", "pipe",
+        "fork_unsupported", "exec_unsupported", "syslog", "chdir", "getcwd",
+        "realpath", "readlink", "access", "chmod", "fsync", "ftruncate",
+        "writev",
+    )
+]
+TOTAL_OCALLS = 61  # including the 4 SDK sync ocalls appended at build time
+
+
+def all_ecall_names() -> list[str]:
+    """All 207 ecall names in TaLoS's ``sgx_ecall_`` convention."""
+    names = [f"sgx_ecall_{n}" for n in CORE_ECALLS + PERIODIC_ECALLS]
+    for family, members in _UNUSED_FAMILIES.items():
+        prefix = "" if family == "MISC" else family + "_"
+        names.extend(f"sgx_ecall_{prefix}{member}" for member in members)
+    # Deterministic padding/trimming to exactly TOTAL_ECALLS.
+    index = 0
+    while len(names) < TOTAL_ECALLS:
+        names.append(f"sgx_ecall_SSL_reserved_{index}")
+        index += 1
+    if len(names) > TOTAL_ECALLS:
+        excess = len(names) - TOTAL_ECALLS
+        del names[-excess:]
+    assert len(set(names)) == TOTAL_ECALLS, "duplicate ecall names"
+    return names
+
+
+def all_ocall_names() -> list[str]:
+    """The 57 declared ocalls (the SDK adds its 4 sync ocalls to reach 61)."""
+    names = USED_OCALLS + _UNUSED_OCALLS
+    index = 0
+    while len(names) < TOTAL_OCALLS - 4:
+        names.append(f"enclave_ocall_reserved_{index}")
+        index += 1
+    if len(names) > TOTAL_OCALLS - 4:
+        del names[TOTAL_OCALLS - 4 :]
+    assert len(set(names)) == TOTAL_OCALLS - 4, "duplicate ocall names"
+    return names
+
+
+def build_definition() -> EnclaveDefinition:
+    """The TaLoS enclave definition (ecall/ocall order fixes identifiers)."""
+    definition = EnclaveDefinition(name="talos")
+    buffer_params = (
+        # TaLoS passes many pointers as user_check for zero-copy — the
+        # security issue its issue tracker documents (paper §3.6 cites the
+        # SSL_write user_check report).
+        Param("buf", "void*", direction=Direction.USER_CHECK),
+        Param("num", "int"),
+    )
+    for name in all_ecall_names():
+        if name in (f"sgx_ecall_{n}" for n in ("SSL_read", "SSL_write")):
+            params = buffer_params
+        else:
+            params = (Param("arg", "long"),)
+        definition.add_ecall(EcallDecl(name=name, return_type="int", params=params))
+    for name in all_ocall_names():
+        if name == "enclave_ocall_write":
+            params = (
+                Param("fd", "int"),
+                Param("buf", "uint8_t*", direction=Direction.IN, size="num"),
+                Param("num", "size_t"),
+            )
+        elif name == "enclave_ocall_read":
+            params = (Param("fd", "int"), Param("num", "size_t"))
+        else:
+            params = (Param("arg", "long"),)
+        definition.add_ocall(OcallDecl(name=name, return_type="long", params=params))
+    return definition

@@ -1,0 +1,135 @@
+"""A curl-like HTTPS client for the TaLoS benchmark.
+
+Implements the peer side of the miniature TLS protocol (same key schedule
+and record format as the in-enclave library) and issues sequential
+``GET /index.html`` requests over fresh connections — the paper's
+"1000 HTTP GET requests with curl" (§5.2.1).
+
+The client deliberately paces the request after the handshake so the
+server's non-blocking ``SSL_read`` observes a few WANT_READs first, like a
+real network does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.hmac import hmac_sha256
+from repro.crypto.stream import stream_xor
+from repro.sim.kernel import Simulation
+from repro.sim.net import Listener, SimSocket
+from repro.workloads.talos.minissl import (
+    FT_APP_DATA,
+    FT_CLIENT_HELLO,
+    FT_CLOSE_NOTIFY,
+    FT_FINISHED,
+    FT_KEY_EXCHANGE,
+    FT_SERVER_HELLO,
+    derive_session_key,
+    encode_frame,
+    record_nonce,
+    split_frames,
+)
+
+REQUEST_GAP_NS = 120_000  # client think time between handshake and request
+CLIENT_COMPUTE_NS = 9_000  # TLS bookkeeping per exchange on the client box
+
+
+class TlsClientError(RuntimeError):
+    """The server broke the (mini) TLS protocol or HTTP contract."""
+
+
+@dataclass
+class ClientStats:
+    """What the client observed."""
+
+    requests: int = 0
+    bytes_received: int = 0
+    responses_verified: int = 0
+
+
+class TalosCurlClient:
+    """Sequential HTTPS client issuing one GET per fresh connection."""
+
+    def __init__(self, sim: Simulation, listener: Listener, seed_tag: str = "curl") -> None:
+        self.sim = sim
+        self.listener = listener
+        self.stats = ClientStats()
+        self._rng = sim.rng.stream(f"talos:{seed_tag}")
+
+    def run(self, request_count: int) -> ClientStats:
+        """Issue ``request_count`` sequential requests."""
+        for index in range(request_count):
+            self._one_request(index)
+        return self.stats
+
+    # -- internals -----------------------------------------------------------
+
+    def _recv_frames(self, sock: SimSocket, buffer: bytearray, want: int) -> dict[int, bytes]:
+        collected: dict[int, bytes] = {}
+        while want not in collected:
+            data = sock.recv(65536, blocking=True)
+            if data == b"":
+                raise TlsClientError("server closed mid-exchange")
+            buffer.extend(data)
+            for frame_type, body in split_frames(buffer):
+                collected[frame_type] = body
+        return collected
+
+    def _one_request(self, index: int) -> None:
+        sim = self.sim
+        sock = self.listener.connect()
+        buffer = bytearray()
+        client_random = bytes(self._rng.randrange(256) for _ in range(32))
+        pre_master = bytes(self._rng.randrange(256) for _ in range(32))
+
+        sock.send(encode_frame(FT_CLIENT_HELLO, client_random))
+        frames = self._recv_frames(sock, buffer, want=FT_KEY_EXCHANGE)
+        server_random = frames[FT_SERVER_HELLO]
+        sim.compute(sim.rng.jitter_ns("curl:kex", CLIENT_COMPUTE_NS))
+        session_key = derive_session_key(pre_master, client_random, server_random)
+        sock.send(encode_frame(FT_KEY_EXCHANGE, pre_master))
+        sock.send(encode_frame(FT_FINISHED, hmac_sha256(session_key, b"client-finished")))
+        frames = self._recv_frames(sock, buffer, want=FT_FINISHED)
+        if frames[FT_FINISHED] != hmac_sha256(session_key, b"server-finished"):
+            raise TlsClientError("bad server Finished MAC")
+
+        # Pace the request so the server polls SSL_read a few times first.
+        sim.compute(sim.rng.jitter_ns("curl:gap", REQUEST_GAP_NS))
+        # curl pushes the request line and the remaining headers as two
+        # TLS records in one TCP segment.
+        parts = (b"GET /index.html HTTP/1.1\r\n", b"Host: talos.example\r\n\r\n")
+        segment = b""
+        for seq, part in enumerate(parts):
+            record = stream_xor(session_key, record_nonce(b"c>", seq), part)
+            segment += encode_frame(FT_APP_DATA, record)
+        sock.send(segment)
+
+        # Read the response records until the server closes.
+        response = b""
+        seq_in = 0
+        open_stream = True
+        while open_stream:
+            data = sock.recv(65536, blocking=True)
+            if data == b"":
+                break
+            buffer.extend(data)
+            for frame_type, body in split_frames(buffer):
+                if frame_type == FT_APP_DATA:
+                    response += stream_xor(
+                        session_key, record_nonce(b"s>", seq_in), body
+                    )
+                    seq_in += 1
+                elif frame_type == FT_CLOSE_NOTIFY:
+                    open_stream = False
+        sock.close()
+
+        if not response.startswith(b"HTTP/1.1 200 OK"):
+            raise TlsClientError(f"bad response prefix: {response[:40]!r}")
+        header, _, body = response.partition(b"\r\n\r\n")
+        expected = int(header.split(b"Content-Length: ")[1].split(b"\r\n")[0])
+        if len(body) != expected:
+            raise TlsClientError(f"body length {len(body)} != {expected}")
+        self.stats.requests += 1
+        self.stats.bytes_received += len(response)
+        self.stats.responses_verified += 1

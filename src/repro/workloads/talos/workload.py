@@ -1,0 +1,59 @@
+"""End-to-end TaLoS+nginx benchmark run (paper §5.2.1, Figure 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sgx.device import SgxDevice
+from repro.sim.net import Listener
+from repro.sim.process import SimProcess
+from repro.workloads.talos.app import TalosApp
+from repro.workloads.talos.client import ClientStats, TalosCurlClient
+from repro.workloads.talos.server import ServerStats, TalosNginx
+
+
+@dataclass
+class TalosRunResult:
+    """Outcome of one TaLoS+nginx run."""
+
+    requests: int
+    virtual_seconds: float
+    requests_per_second: float
+    server: ServerStats
+    client: ClientStats
+
+
+def run_talos_nginx(
+    requests: int = 1000,
+    seed: int = 0,
+    process: Optional[SimProcess] = None,
+    device: Optional[SgxDevice] = None,
+    app: Optional[TalosApp] = None,
+) -> TalosRunResult:
+    """Serve ``requests`` sequential HTTPS GETs through the TaLoS enclave.
+
+    Pass a pre-built :class:`TalosApp` (with a logger already installed on
+    its process) to trace the run.
+    """
+    process = process or SimProcess(seed=seed)
+    device = device or SgxDevice(process.sim)
+    sim = process.sim
+    app = app or TalosApp(process, device)
+    listener = Listener(sim, "nginx:443")
+    server = TalosNginx(app, listener)
+    client = TalosCurlClient(sim, listener)
+
+    start = sim.now_ns
+    process.pthread_create(server.serve, requests, name="nginx-worker")
+    process.pthread_create(client.run, requests, name="curl")
+    sim.run()
+    elapsed = sim.now_ns - start
+    seconds = elapsed / 1e9
+    return TalosRunResult(
+        requests=server.stats.requests,
+        virtual_seconds=seconds,
+        requests_per_second=server.stats.requests / seconds if seconds else 0.0,
+        server=server.stats,
+        client=client.stats,
+    )

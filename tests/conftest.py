@@ -1,0 +1,89 @@
+"""Shared fixtures: a process, an SGX device, a URTS and a tiny enclave."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sdk.edger8r import build_enclave
+from repro.sdk.urts import Urts
+from repro.sgx.device import SgxDevice
+from repro.sgx.enclave import EnclaveConfig
+from repro.sim.process import SimProcess
+
+SIMPLE_EDL = """
+enclave {
+    trusted {
+        public int ecall_add(int a, int b);
+        public int ecall_compute(long ns);
+        public int ecall_with_ocall(void);
+        int ecall_private(void);
+    };
+    untrusted {
+        int ocall_log([in, string] char* msg) allow(ecall_private);
+        void ocall_sleepy(long ns);
+    };
+};
+"""
+
+
+@pytest.fixture
+def process():
+    return SimProcess(seed=1234)
+
+
+@pytest.fixture
+def device(process):
+    return SgxDevice(process.sim)
+
+
+@pytest.fixture
+def urts(process, device):
+    return Urts(process, device)
+
+
+def make_simple_impls():
+    """Trusted/untrusted implementations for :data:`SIMPLE_EDL`."""
+
+    def ecall_add(ctx, a, b):
+        ctx.compute(200)
+        return a + b
+
+    def ecall_compute(ctx, ns):
+        ctx.compute(int(ns))
+        return 0
+
+    def ecall_with_ocall(ctx):
+        ctx.ocall("ocall_log", "hello")
+        return 0
+
+    def ecall_private(ctx):
+        ctx.compute(100)
+        return 42
+
+    def ocall_log(uctx, msg):
+        uctx.compute(500)
+        return len(msg)
+
+    def ocall_sleepy(uctx, ns):
+        uctx.compute(int(ns))
+
+    trusted = {
+        "ecall_add": ecall_add,
+        "ecall_compute": ecall_compute,
+        "ecall_with_ocall": ecall_with_ocall,
+        "ecall_private": ecall_private,
+    }
+    untrusted = {"ocall_log": ocall_log, "ocall_sleepy": ocall_sleepy}
+    return trusted, untrusted
+
+
+@pytest.fixture
+def simple_enclave(urts):
+    trusted, untrusted = make_simple_impls()
+    return build_enclave(
+        urts,
+        SIMPLE_EDL,
+        trusted,
+        untrusted,
+        config=EnclaveConfig(heap_bytes=128 * 1024, tcs_count=4),
+    )

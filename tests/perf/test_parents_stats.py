@@ -1,0 +1,187 @@
+"""Direct/indirect parent computation (Figure 4) and general statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.perf.analysis import parents as P
+from repro.perf.analysis import stats as S
+from repro.perf.events import CallEvent, ECALL, OCALL
+
+
+def call(event_id, kind, name, start, end, thread=1, parent=None):
+    return CallEvent(
+        event_id=event_id,
+        kind=kind,
+        name=name,
+        call_index=0,
+        enclave_id=1,
+        thread_id=thread,
+        start_ns=start,
+        end_ns=end,
+        parent_id=parent,
+    )
+
+
+class TestFigure4Cases:
+    """The four indirect-parent examples of the paper's Figure 4."""
+
+    def test_case1_sibling_ecalls_chain(self):
+        calls = [
+            call(1, ECALL, "E1", 0, 10),
+            call(2, ECALL, "E2", 20, 30),
+            call(3, ECALL, "E3", 40, 50),
+        ]
+        indirect = P.compute_indirect_parents(calls)
+        assert indirect == {2: 1, 3: 2}
+
+    def test_case2_ocalls_within_one_ecall_chain(self):
+        calls = [
+            call(1, ECALL, "E1", 0, 100),
+            call(2, OCALL, "O2", 10, 20, parent=1),
+            call(3, OCALL, "O3", 30, 40, parent=1),
+        ]
+        indirect = P.compute_indirect_parents(calls)
+        assert indirect == {3: 2}  # only O3 has an indirect parent
+
+    def test_case3_nested_alternating_no_indirect(self):
+        calls = [
+            call(1, ECALL, "E1", 0, 100),
+            call(2, OCALL, "O2", 10, 90, parent=1),
+            call(3, ECALL, "E3", 20, 80, parent=2),
+        ]
+        assert P.compute_indirect_parents(calls) == {}
+
+    def test_case4_skips_calls_of_other_kind(self):
+        calls = [
+            call(1, ECALL, "E1", 0, 30),
+            call(2, OCALL, "O2", 10, 20, parent=1),
+            call(3, ECALL, "E3", 40, 50),
+        ]
+        indirect = P.compute_indirect_parents(calls)
+        assert indirect[3] == 1  # E3's indirect parent is E1, not O2
+
+    def test_threads_do_not_mix(self):
+        calls = [
+            call(1, ECALL, "E", 0, 10, thread=1),
+            call(2, ECALL, "E", 20, 30, thread=2),
+        ]
+        assert P.compute_indirect_parents(calls) == {}
+
+
+class TestDirectParentRecomputation:
+    def test_matches_logged_parents(self):
+        calls = [
+            call(1, ECALL, "E1", 0, 100),
+            call(2, OCALL, "O1", 10, 40, parent=1),
+            call(3, ECALL, "E2", 15, 30, parent=2),
+            call(4, OCALL, "O2", 50, 70, parent=1),
+            call(5, ECALL, "E3", 120, 140),
+        ]
+        recomputed = P.recompute_direct_parents(calls)
+        for event in calls:
+            assert recomputed[event.event_id] == event.parent_id
+
+    def test_gap_to_indirect_parent(self):
+        calls = [
+            call(1, ECALL, "E", 0, 10),
+            call(2, ECALL, "E", 17, 30),
+        ]
+        indirect = P.compute_indirect_parents(calls)
+        by_id = P.index_by_id(calls)
+        assert P.gap_to_indirect_parent_ns(calls[1], indirect, by_id) == 7
+        assert P.gap_to_indirect_parent_ns(calls[0], indirect, by_id) is None
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=10_000),
+                st.integers(min_value=1, max_value=500),
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    def test_indirect_parent_always_precedes(self, spans):
+        events = []
+        cursor = 0
+        for i, (gap, width) in enumerate(spans):
+            start = cursor + gap
+            events.append(call(i + 1, ECALL, f"E{i % 3}", start, start + width))
+            cursor = start + width
+        indirect = P.compute_indirect_parents(events)
+        by_id = P.index_by_id(events)
+        for child_id, parent_id in indirect.items():
+            assert by_id[parent_id].end_ns <= by_id[child_id].start_ns
+
+
+class TestStatistics:
+    def make_events(self, durations):
+        return [
+            call(i + 1, ECALL, "e", i * 1_000, i * 1_000 + d)
+            for i, d in enumerate(durations)
+        ]
+
+    def test_summary_values(self):
+        stats = S.compute_statistics("ecall", "e", self.make_events([100, 200, 300]))
+        assert stats.count == 3
+        assert stats.mean_ns == 200
+        assert stats.median_ns == 200
+        assert stats.min_ns == 100 and stats.max_ns == 300
+        assert stats.total_ns == 600
+
+    def test_percentiles_ordered(self):
+        stats = S.compute_statistics(
+            "ecall", "e", self.make_events(list(range(1, 101)))
+        )
+        assert stats.p90_ns <= stats.p95_ns <= stats.p99_ns <= stats.max_ns
+
+    def test_empty_group(self):
+        stats = S.compute_statistics("ecall", "e", [])
+        assert stats.count == 0 and stats.mean_ns == 0.0
+
+    def test_execution_durations_subtract_transition_for_ecalls(self):
+        events = self.make_events([5_000, 6_000])
+        adjusted = S.execution_durations_ns(events, 2_130)
+        assert list(adjusted) == [2_870, 3_870]
+
+    def test_execution_durations_clamped_at_zero(self):
+        events = self.make_events([1_000])
+        assert list(S.execution_durations_ns(events, 2_130)) == [0]
+
+    def test_ocall_durations_not_adjusted(self):
+        events = [call(1, OCALL, "o", 0, 5_000)]
+        assert list(S.execution_durations_ns(events, 2_130)) == [5_000]
+
+    def test_fraction_shorter_than(self):
+        values = np.array([1, 5, 9, 20])
+        assert S.fraction_shorter_than(values, 10) == 0.75
+        assert S.fraction_shorter_than(np.array([]), 10) == 0.0
+
+    def test_histogram_total_preserved(self):
+        events = self.make_events([10, 20, 30, 40, 50] * 10)
+        hist = S.histogram(events, bins=5)
+        assert sum(hist.counts) == 50
+
+    def test_histogram_render_nonempty(self):
+        events = self.make_events(list(range(100, 200)))
+        text = S.histogram(events, bins=100).render(max_rows=10)
+        assert "us |" in text
+
+    def test_scatter_series_alignment(self):
+        events = self.make_events([10, 20])
+        starts, durations = S.scatter_series(events)
+        assert list(starts) == [0, 1_000]
+        assert list(durations) == [10, 20]
+
+    def test_all_statistics_sorted_by_total(self):
+        events = self.make_events([100] * 5) + [
+            call(99, OCALL, "big", 0, 10_000)
+        ]
+        stats = S.all_statistics(events)
+        assert stats[0].name == "big"
+
+    def test_group_by_name(self):
+        events = self.make_events([1, 2]) + [call(9, OCALL, "o", 0, 5)]
+        groups = S.group_by_name(events)
+        assert set(groups) == {("ecall", "e"), ("ocall", "o")}

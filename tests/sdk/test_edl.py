@@ -1,0 +1,219 @@
+"""EDL data model and parser."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sdk.edl import (
+    Direction,
+    EcallDecl,
+    EdlError,
+    EnclaveDefinition,
+    OcallDecl,
+    Param,
+    format_edl,
+    parse_edl,
+)
+
+
+class TestParser:
+    def test_minimal_enclave(self):
+        definition = parse_edl(
+            "enclave { trusted { public void f(void); }; untrusted { }; };"
+        )
+        assert [e.name for e in definition.ecalls] == ["f"]
+        assert definition.ecall("f").public
+
+    def test_private_ecall_requires_allow(self):
+        source = """
+        enclave {
+            trusted { void secret(void); };
+            untrusted { void o(void) allow(secret); };
+        };
+        """
+        definition = parse_edl(source)
+        assert definition.ecall("secret").private
+        assert definition.ocall("o").allowed_ecalls == ("secret",)
+
+    def test_unreachable_private_ecall_rejected(self):
+        source = """
+        enclave {
+            trusted { void secret(void); };
+            untrusted { void o(void); };
+        };
+        """
+        with pytest.raises(EdlError, match="private"):
+            parse_edl(source)
+
+    def test_pointer_annotations(self):
+        source = """
+        enclave {
+            trusted {
+                public int f([in, size=len] uint8_t* buf, size_t len,
+                             [out] int* result,
+                             [in, out, count=4] long* both,
+                             [user_check] void* raw);
+            };
+            untrusted { };
+        };
+        """
+        params = parse_edl(source).ecall("f").params
+        by_name = {p.name: p for p in params}
+        assert by_name["buf"].direction is Direction.IN
+        assert by_name["buf"].size == "len"
+        assert by_name["len"].direction is Direction.VALUE
+        assert by_name["result"].direction is Direction.OUT
+        assert by_name["both"].direction is Direction.INOUT
+        assert by_name["both"].count == 4
+        assert by_name["raw"].direction is Direction.USER_CHECK
+
+    def test_string_annotation(self):
+        source = """
+        enclave {
+            trusted { public void f([in, string] char* msg); };
+            untrusted { };
+        };
+        """
+        param = parse_edl(source).ecall("f").params[0]
+        assert param.is_string and param.direction is Direction.IN
+
+    def test_bare_pointer_rejected(self):
+        source = """
+        enclave {
+            trusted { public void f(char* p); };
+            untrusted { };
+        };
+        """
+        with pytest.raises(EdlError, match="user_check"):
+            parse_edl(source)
+
+    def test_comments_ignored(self):
+        source = """
+        enclave {
+            // line comment
+            trusted { /* block */ public void f(void); };
+            untrusted { };
+        };
+        """
+        assert parse_edl(source).has_ecall("f")
+
+    def test_allow_unknown_ecall_rejected(self):
+        source = """
+        enclave {
+            trusted { public void f(void); };
+            untrusted { void o(void) allow(ghost); };
+        };
+        """
+        with pytest.raises(EdlError, match="ghost"):
+            parse_edl(source)
+
+    def test_numeric_size_literal(self):
+        source = """
+        enclave {
+            trusted { public void f([in, size=64] uint8_t* p); };
+            untrusted { };
+        };
+        """
+        assert parse_edl(source).ecall("f").params[0].size == 64
+
+    def test_garbage_rejected(self):
+        with pytest.raises(EdlError):
+            parse_edl("enclave { nonsense { }; };")
+        with pytest.raises(EdlError):
+            parse_edl("enclave { trusted { public void f(void) }; };")  # missing ;
+        with pytest.raises(EdlError):
+            parse_edl("enclave { trusted { }; untrusted { }; }; extra")
+
+    def test_multi_token_types(self):
+        source = """
+        enclave {
+            trusted { public unsigned long long f([in, size=8] const uint8_t* p); };
+            untrusted { };
+        };
+        """
+        decl = parse_edl(source).ecall("f")
+        assert decl.return_type == "unsigned long long"
+        assert decl.params[0].ctype == "const uint8_t *".replace(" *", "*") or "*" in decl.params[0].ctype
+
+
+class TestRoundTrip:
+    def test_format_then_parse(self):
+        source = """
+        enclave {
+            trusted {
+                public int encrypt([in, size=n] uint8_t* data, size_t n);
+                void helper(void);
+            };
+            untrusted {
+                int write_out([in, size=n] uint8_t* d, size_t n) allow(helper);
+                void log([in, string] char* msg);
+            };
+        };
+        """
+        first = parse_edl(source)
+        second = parse_edl(format_edl(first))
+        assert [e.name for e in first.ecalls] == [e.name for e in second.ecalls]
+        assert [o.allowed_ecalls for o in first.ocalls] == [
+            o.allowed_ecalls for o in second.ocalls
+        ]
+        assert format_edl(first) == format_edl(second)
+
+
+class TestDefinitionModel:
+    def test_indices_follow_declaration_order(self):
+        definition = EnclaveDefinition()
+        definition.add_ecall(EcallDecl(name="a"))
+        definition.add_ecall(EcallDecl(name="b"))
+        assert definition.ecall_index("a") == 0
+        assert definition.ecall_index("b") == 1
+
+    def test_duplicate_names_rejected(self):
+        definition = EnclaveDefinition()
+        definition.add_ecall(EcallDecl(name="a"))
+        with pytest.raises(EdlError):
+            definition.add_ecall(EcallDecl(name="a"))
+
+    def test_unknown_lookup_raises(self):
+        with pytest.raises(EdlError):
+            EnclaveDefinition().ecall_index("ghost")
+
+    def test_user_check_params_enumeration(self):
+        definition = EnclaveDefinition()
+        definition.add_ecall(
+            EcallDecl(
+                name="e",
+                params=(Param("p", "void*", direction=Direction.USER_CHECK),),
+            )
+        )
+        found = definition.user_check_params()
+        assert found == [("ecall", "e", definition.ecall("e").params[0])]
+
+    def test_resolve_size_by_reference(self):
+        param = Param("buf", "uint8_t*", direction=Direction.IN, size="n")
+        assert param.resolve_size({"n": 100}, b"xx") == 100
+
+    def test_resolve_size_from_bytes(self):
+        param = Param("buf", "uint8_t*", direction=Direction.IN)
+        assert param.resolve_size({}, b"12345") == 5
+
+    def test_resolve_size_with_count(self):
+        param = Param("buf", "x*", direction=Direction.IN, size=8, count="k")
+        assert param.resolve_size({"k": 3}, None) == 24
+
+
+@given(
+    st.lists(
+        st.text(alphabet="abcdefgh", min_size=1, max_size=8),
+        min_size=1,
+        max_size=10,
+        unique=True,
+    )
+)
+def test_generated_definitions_round_trip(names):
+    definition = EnclaveDefinition()
+    for name in names:
+        definition.add_ecall(EcallDecl(name=f"ecall_{name}"))
+    for name in names:
+        definition.add_ocall(OcallDecl(name=f"ocall_{name}"))
+    reparsed = parse_edl(format_edl(definition))
+    assert [e.name for e in reparsed.ecalls] == [f"ecall_{n}" for n in names]
+    assert [o.name for o in reparsed.ocalls] == [f"ocall_{n}" for n in names]

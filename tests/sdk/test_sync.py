@@ -1,0 +1,237 @@
+"""SDK in-enclave synchronisation: mutexes, condvars, hybrid locks."""
+
+import pytest
+
+from repro.sdk.edger8r import SYNC_OCALL_NAMES, build_enclave
+from repro.sdk.sync import HybridMutex
+from repro.sdk.urts import Urts
+from repro.sgx.device import SgxDevice
+from repro.sgx.enclave import EnclaveConfig
+from repro.sim.process import SimProcess
+
+EDL = """
+enclave {
+    trusted {
+        public int ecall_critical(long hold_ns);
+        public int ecall_wait(void);
+        public int ecall_signal(void);
+        public int ecall_broadcast(void);
+        public int ecall_trylock(void);
+    };
+    untrusted { };
+};
+"""
+
+
+class App:
+    def __init__(self, seed=0, mutex_factory=None, tcs=8):
+        self.process = SimProcess(seed=seed)
+        self.device = SgxDevice(self.process.sim)
+        self.urts = Urts(self.process, self.device)
+        self.mutex_factory = mutex_factory
+        self.handle = build_enclave(
+            self.urts,
+            EDL,
+            {
+                "ecall_critical": self.ecall_critical,
+                "ecall_wait": self.ecall_wait,
+                "ecall_signal": self.ecall_signal,
+                "ecall_broadcast": self.ecall_broadcast,
+                "ecall_trylock": self.ecall_trylock,
+            },
+            config=EnclaveConfig(tcs_count=tcs, heap_bytes=64 * 1024),
+        )
+        runtime = self.urts.runtime(self.handle.enclave_id)
+        if mutex_factory is not None:
+            self.mutex = mutex_factory(runtime)
+            runtime._sync_objects[("mutex", "m")] = self.mutex
+        else:
+            self.mutex = runtime.mutex("m")
+        self.cond = runtime.condvar("c")
+
+    def ecall_critical(self, ctx, hold_ns):
+        self.mutex.lock(ctx)
+        ctx.compute(int(hold_ns))
+        self.mutex.unlock(ctx)
+        return 0
+
+    def ecall_wait(self, ctx):
+        self.mutex.lock(ctx)
+        self.cond.wait(ctx, self.mutex)
+        self.mutex.unlock(ctx)
+        return 0
+
+    def ecall_signal(self, ctx):
+        self.cond.signal(ctx)
+        return 0
+
+    def ecall_broadcast(self, ctx):
+        self.cond.broadcast(ctx)
+        return 0
+
+    def ecall_trylock(self, ctx):
+        return 1 if self.mutex.try_lock(ctx) else 0
+
+
+class TestSdkMutex:
+    def test_uncontended_lock_no_ocalls(self):
+        app = App()
+        app.handle.ecall("ecall_critical", 100)
+        assert app.mutex.stats["lock_fast"] == 1
+        assert app.mutex.stats["lock_slept"] == 0
+        assert app.mutex.stats["wake_ocalls"] == 0
+
+    def test_contended_lock_sleeps_and_wakes(self):
+        app = App()
+        sim = app.process.sim
+
+        def worker():
+            for _ in range(5):
+                app.handle.ecall("ecall_critical", 5_000)
+
+        for i in range(3):
+            sim.spawn(worker, name=f"w{i}")
+        sim.run()
+        assert app.mutex.stats["lock_slept"] > 0
+        # Paper §2.3.2: a contended lock produces *two* ocalls — a sleep by
+        # the waiter and a wake by the holder.
+        assert app.mutex.stats["wake_ocalls"] == app.mutex.stats["lock_slept"]
+
+    def test_mutual_exclusion_holds(self):
+        app = App()
+        sim = app.process.sim
+        inside = {"count": 0, "max": 0}
+        original = app.ecall_critical
+
+        def instrumented(ctx, hold_ns):
+            app.mutex.lock(ctx)
+            inside["count"] += 1
+            inside["max"] = max(inside["max"], inside["count"])
+            ctx.compute(int(hold_ns))
+            inside["count"] -= 1
+            app.mutex.unlock(ctx)
+            return 0
+
+        app.urts.runtime(app.handle.enclave_id).bridge._impls[0] = instrumented
+
+        def worker():
+            for _ in range(8):
+                app.handle.ecall("ecall_critical", 3_000)
+
+        for i in range(4):
+            sim.spawn(worker, name=f"w{i}")
+        sim.run()
+        assert inside["max"] == 1
+
+    def test_relock_by_owner_rejected(self):
+        app = App()
+
+        def relock(ctx, hold_ns):
+            app.mutex.lock(ctx)
+            app.mutex.lock(ctx)
+
+        app.urts.runtime(app.handle.enclave_id).bridge._impls[0] = relock
+        with pytest.raises(RuntimeError, match="relock"):
+            app.handle.ecall("ecall_critical", 0)
+
+    def test_unlock_by_non_owner_rejected(self):
+        app = App()
+
+        def bad_unlock(ctx, hold_ns):
+            app.mutex.unlock(ctx)
+
+        app.urts.runtime(app.handle.enclave_id).bridge._impls[0] = bad_unlock
+        with pytest.raises(RuntimeError, match="unlock"):
+            app.handle.ecall("ecall_critical", 0)
+
+    def test_trylock_semantics(self):
+        app = App()
+        assert app.handle.ecall("ecall_trylock") == 1
+        assert app.handle.ecall("ecall_trylock") == 0  # already held
+
+
+class TestHybridMutex:
+    def test_spin_avoids_sleeping_for_short_sections(self):
+        app = App(mutex_factory=lambda rt: HybridMutex(rt, "m", spin_iterations=200))
+        sim = app.process.sim
+
+        def worker():
+            for _ in range(6):
+                app.handle.ecall("ecall_critical", 1_200)
+                sim.compute(300)
+
+        for i in range(3):
+            sim.spawn(worker, name=f"w{i}")
+        sim.run()
+        assert app.mutex.stats["lock_spun"] > 0
+        assert app.mutex.stats["lock_slept"] == 0
+
+    def test_falls_back_to_sleep_for_long_sections(self):
+        app = App(mutex_factory=lambda rt: HybridMutex(rt, "m", spin_iterations=4))
+        sim = app.process.sim
+
+        def worker():
+            for _ in range(3):
+                app.handle.ecall("ecall_critical", 200_000)
+
+        for i in range(3):
+            sim.spawn(worker, name=f"w{i}")
+        sim.run()
+        assert app.mutex.stats["lock_slept"] > 0
+
+
+class TestCondVar:
+    def test_wait_signal(self):
+        app = App()
+        sim = app.process.sim
+        order = []
+
+        def waiter():
+            app.handle.ecall("ecall_wait")
+            order.append(("woke", sim.now_ns))
+
+        def signaller():
+            sim.compute(50_000)
+            app.handle.ecall("ecall_signal")
+            order.append(("signalled", sim.now_ns))
+
+        sim.spawn(waiter)
+        sim.spawn(signaller)
+        sim.run()
+        assert order[0][0] == "signalled"
+        assert order[1][0] == "woke"
+
+    def test_broadcast_wakes_all(self):
+        app = App()
+        sim = app.process.sim
+        woken = []
+
+        def waiter(i):
+            app.handle.ecall("ecall_wait")
+            woken.append(i)
+
+        def broadcaster():
+            sim.compute(80_000)
+            assert app.cond.waiting == 3
+            app.handle.ecall("ecall_broadcast")
+
+        for i in range(3):
+            sim.spawn(waiter, i)
+        sim.spawn(broadcaster)
+        sim.run()
+        assert sorted(woken) == [0, 1, 2]
+        assert app.cond.stats["broadcasts"] == 1
+
+    def test_signal_without_waiters_is_noop(self):
+        app = App()
+        app.handle.ecall("ecall_signal")
+        assert app.cond.stats["signals"] == 0
+
+
+def test_sync_ocall_names_match_edger8r():
+    """sync.py re-declares the ocall names to avoid an import cycle."""
+    from repro.sdk import sync
+
+    assert sync._WAIT in SYNC_OCALL_NAMES
+    assert sync._SET in SYNC_OCALL_NAMES
+    assert sync._SET_MULTIPLE in SYNC_OCALL_NAMES

@@ -1,0 +1,160 @@
+"""Enclave layout, heap and TCS management."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sgx.constants import PAGE_SIZE
+from repro.sgx.enclave import (
+    Enclave,
+    EnclaveConfig,
+    EnclaveOutOfMemory,
+    PageType,
+    Permission,
+)
+
+
+def make(config=None, enclave_id=1):
+    return Enclave(enclave_id, config or EnclaveConfig())
+
+
+class TestLayout:
+    def test_size_is_power_of_two(self):
+        enclave = make()
+        assert enclave.size_pages & (enclave.size_pages - 1) == 0
+
+    def test_has_exactly_one_secs(self):
+        pages = make().pages
+        assert sum(1 for p in pages if p.page_type is PageType.SECS) == 1
+        assert pages[0].page_type is PageType.SECS
+
+    def test_tcs_count_matches_config(self):
+        enclave = make(EnclaveConfig(tcs_count=7))
+        assert sum(1 for p in enclave.pages if p.page_type is PageType.TCS) == 7
+
+    def test_heap_pages_match_config(self):
+        enclave = make(EnclaveConfig(heap_bytes=64 * 1024))
+        assert sum(1 for p in enclave.pages if p.page_type is PageType.HEAP) == 16
+
+    def test_stack_pages_per_thread(self):
+        config = EnclaveConfig(stack_bytes=8 * 1024, tcs_count=3)
+        enclave = make(config)
+        stacks = sum(1 for p in enclave.pages if p.page_type is PageType.STACK)
+        assert stacks == 2 * 3
+
+    def test_padding_fills_to_power_of_two(self):
+        enclave = make()
+        non_padding = sum(
+            1 for p in enclave.pages if p.page_type is not PageType.PADDING
+        )
+        assert non_padding <= enclave.size_pages
+
+    def test_vaddr_mapping_roundtrip(self):
+        enclave = make()
+        for index in (0, 1, enclave.size_pages - 1):
+            vaddr = enclave.vaddr_of(index)
+            assert enclave.page_at(vaddr).index == index
+            assert enclave.page_at(vaddr + PAGE_SIZE - 1).index == index
+
+    def test_page_at_outside_raises(self):
+        enclave = make()
+        with pytest.raises(ValueError):
+            enclave.page_at(enclave.base_vaddr - 1)
+
+    def test_contains(self):
+        enclave = make()
+        assert enclave.contains(enclave.base_vaddr)
+        assert not enclave.contains(enclave.base_vaddr + enclave.size_bytes)
+
+    def test_distinct_enclaves_distinct_ranges(self):
+        a, b = make(enclave_id=1), make(enclave_id=2)
+        assert not a.contains(b.base_vaddr)
+
+    def test_default_permissions_by_type(self):
+        enclave = make()
+        for page in enclave.pages:
+            if page.page_type is PageType.CODE:
+                assert page.sgx_perms == Permission.RX
+            elif page.page_type in (PageType.GUARD, PageType.PADDING, PageType.SECS):
+                assert page.sgx_perms == Permission.NONE
+
+
+class TestMeasurement:
+    def test_same_config_same_measurement(self):
+        a = Enclave(1, EnclaveConfig(), code_identity=b"v1")
+        b = Enclave(2, EnclaveConfig(), code_identity=b"v1")
+        assert a.measurement == b.measurement
+
+    def test_code_identity_changes_measurement(self):
+        a = Enclave(1, EnclaveConfig(), code_identity=b"v1")
+        b = Enclave(1, EnclaveConfig(), code_identity=b"v2")
+        assert a.measurement != b.measurement
+
+    def test_layout_changes_measurement(self):
+        a = Enclave(1, EnclaveConfig(heap_bytes=64 * 1024))
+        b = Enclave(1, EnclaveConfig(heap_bytes=256 * 1024))
+        assert a.measurement != b.measurement
+
+
+class TestTcs:
+    def test_acquire_release_cycle(self):
+        enclave = make(EnclaveConfig(tcs_count=2))
+        a = enclave.acquire_tcs()
+        b = enclave.acquire_tcs()
+        assert {a, b} == {0, 1}
+        assert enclave.acquire_tcs() is None
+        enclave.release_tcs(a)
+        assert enclave.acquire_tcs() == a
+
+    def test_release_free_slot_raises(self):
+        enclave = make()
+        with pytest.raises(ValueError):
+            enclave.release_tcs(0)
+
+    def test_tcs_and_stack_pages_typed(self):
+        enclave = make(EnclaveConfig(tcs_count=2))
+        slot = enclave.acquire_tcs()
+        assert enclave.tcs_page(slot).page_type is PageType.TCS
+        assert all(p.page_type is PageType.STACK for p in enclave.stack_pages(slot))
+
+
+class TestHeap:
+    def test_malloc_free_reuse(self):
+        enclave = make(EnclaveConfig(heap_bytes=64 * 1024))
+        alloc = enclave.malloc(1000)
+        used = enclave.heap_used_bytes
+        enclave.free(alloc)
+        again = enclave.malloc(1000)
+        assert again.offset == alloc.offset  # free-list reuse
+        assert enclave.heap_used_bytes == used
+
+    def test_heap_exhaustion_raises(self):
+        enclave = make(EnclaveConfig(heap_bytes=8 * 1024))
+        enclave.malloc(6 * 1024)
+        with pytest.raises(EnclaveOutOfMemory):
+            enclave.malloc(4 * 1024)
+
+    def test_zero_allocation_rejected(self):
+        with pytest.raises(ValueError):
+            make().malloc(0)
+
+    def test_allocation_alignment(self):
+        enclave = make()
+        alloc = enclave.malloc(3)
+        assert alloc.size == 16
+
+    def test_heap_pages_for_span(self):
+        enclave = make(EnclaveConfig(heap_bytes=64 * 1024))
+        alloc = enclave.malloc(3 * PAGE_SIZE)
+        pages = enclave.heap_pages_for(alloc)
+        assert len(pages) == 3
+        assert all(p.page_type is PageType.HEAP for p in pages)
+
+    @given(st.lists(st.integers(min_value=1, max_value=2_000), min_size=1, max_size=40))
+    def test_allocations_never_overlap(self, sizes):
+        enclave = make(EnclaveConfig(heap_bytes=1024 * 1024))
+        intervals = []
+        for size in sizes:
+            alloc = enclave.malloc(size)
+            for start, end in intervals:
+                assert alloc.offset >= end or alloc.offset + alloc.size <= start
+            intervals.append((alloc.offset, alloc.offset + alloc.size))

@@ -1,0 +1,180 @@
+"""EPC accounting, eviction policy and the driver's paging path."""
+
+import pytest
+
+from repro.sgx.constants import EPC_USABLE_PAGES
+from repro.sgx.cpu import SgxCpu
+from repro.sgx.enclave import EnclaveConfig, Page, PageType
+from repro.sgx.epc import Epc, EpcFull
+from repro.sgx.paging import KPROBE_ELDU, KPROBE_EWB, SgxDriver
+from repro.sim.kernel import Simulation
+
+
+def page(i=0):
+    return Page(enclave_id=1, index=i, page_type=PageType.HEAP)
+
+
+class TestEpc:
+    def test_default_capacity_is_93_mib(self):
+        assert Epc().capacity_pages == EPC_USABLE_PAGES == 23_808
+
+    def test_insert_remove_accounting(self):
+        epc = Epc(capacity_pages=4)
+        p = page()
+        epc.insert(p)
+        assert p.resident and epc.resident_pages == 1
+        epc.remove(p)
+        assert not p.resident and epc.free_pages == 4
+
+    def test_double_insert_rejected(self):
+        epc = Epc(capacity_pages=4)
+        p = page()
+        epc.insert(p)
+        with pytest.raises(ValueError):
+            epc.insert(p)
+
+    def test_remove_nonresident_rejected(self):
+        with pytest.raises(ValueError):
+            Epc(capacity_pages=4).remove(page())
+
+    def test_insert_when_full_rejected(self):
+        epc = Epc(capacity_pages=1)
+        epc.insert(page(0))
+        with pytest.raises(EpcFull):
+            epc.insert(page(1))
+
+    def test_second_chance_prefers_unaccessed(self):
+        epc = Epc(capacity_pages=3)
+        pages = [page(i) for i in range(3)]
+        for p in pages:
+            epc.insert(p)
+        pages[0].accessed = True  # give page 0 a second chance
+        victim = epc.choose_victim()
+        assert victim is pages[1]
+        assert not pages[0].accessed  # chance consumed
+
+    def test_pinned_pages_never_victims(self):
+        epc = Epc(capacity_pages=2)
+        a, b = page(0), page(1)
+        epc.insert(a)
+        epc.insert(b)
+        epc.pin(a)
+        assert epc.choose_victim() is b
+
+    def test_all_pinned_raises(self):
+        epc = Epc(capacity_pages=1)
+        p = page()
+        epc.insert(p)
+        epc.pin(p)
+        with pytest.raises(EpcFull):
+            epc.choose_victim()
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Epc(capacity_pages=0)
+
+
+class TestDriver:
+    def make_driver(self, capacity=64):
+        sim = Simulation(seed=2)
+        return sim, SgxDriver(sim, SgxCpu(), Epc(capacity_pages=capacity))
+
+    def test_create_enclave_loads_backed_pages(self):
+        sim, driver = self.make_driver(capacity=4096)
+        enclave = driver.create_enclave(EnclaveConfig(heap_bytes=64 * 1024))
+        for p in enclave.pages:
+            if p.page_type is PageType.GUARD:
+                assert not p.resident  # guards have no EPC frame
+            else:
+                assert p.resident
+
+    def test_creation_charges_time(self):
+        sim, driver = self.make_driver(capacity=4096)
+        before = sim.now_ns
+        driver.create_enclave(EnclaveConfig())
+        assert sim.now_ns > before
+
+    def test_secs_is_pinned(self):
+        sim, driver = self.make_driver(capacity=4096)
+        enclave = driver.create_enclave(EnclaveConfig())
+        driver.epc.pin(enclave.pages[0])  # idempotent: already pinned
+        # Evicting everything must never pick the SECS.
+        for _ in range(driver.epc.resident_pages - 1):
+            victim = driver.epc.choose_victim()
+            driver.epc.remove(victim)
+            assert victim.page_type is not PageType.SECS
+
+    def test_oversubscription_triggers_eviction(self):
+        sim, driver = self.make_driver(capacity=300)
+        first = driver.create_enclave(EnclaveConfig(heap_bytes=512 * 1024))
+        assert driver.epc.resident_pages <= 300
+        evicted = [p for p in first.pages if not p.resident
+                   and p.page_type is not PageType.GUARD]
+        assert evicted  # something got paged out
+        assert driver.stats["page_out"] > 0
+
+    def test_load_page_faults_back_in(self):
+        sim, driver = self.make_driver(capacity=4096)
+        enclave = driver.create_enclave(EnclaveConfig())
+        victim = next(p for p in enclave.pages if p.page_type is PageType.HEAP)
+        driver.epc.remove(victim)
+        driver.load_page(victim)
+        assert victim.resident
+        assert driver.stats["page_in"] == 1
+
+    def test_load_resident_page_is_noop(self):
+        sim, driver = self.make_driver(capacity=4096)
+        enclave = driver.create_enclave(EnclaveConfig())
+        p = enclave.pages[1]
+        before = driver.stats["page_in"]
+        driver.load_page(p)
+        assert driver.stats["page_in"] == before
+
+    def test_kprobes_fire_with_vaddr(self):
+        sim, driver = self.make_driver(capacity=4096)
+        enclave = driver.create_enclave(EnclaveConfig())
+        events = []
+        driver.attach_kprobe(KPROBE_ELDU, lambda *a: events.append(("in", a)))
+        driver.attach_kprobe(KPROBE_EWB, lambda *a: events.append(("out", a)))
+        victim = next(p for p in enclave.pages if p.page_type is PageType.HEAP)
+        driver.epc.remove(victim)
+        driver.load_page(victim)
+        assert events and events[0][0] == "in"
+        ts, enclave_id, vaddr, direction = events[0][1]
+        assert enclave_id == enclave.enclave_id
+        assert enclave.page_at(vaddr) is victim
+        assert direction == "page_in"
+
+    def test_detach_kprobe(self):
+        sim, driver = self.make_driver(capacity=4096)
+        events = []
+        cb = lambda *a: events.append(a)  # noqa: E731
+        driver.attach_kprobe(KPROBE_ELDU, cb)
+        driver.detach_kprobe(KPROBE_ELDU, cb)
+        enclave = driver.create_enclave(EnclaveConfig())
+        victim = enclave.pages[1]
+        driver.epc.remove(victim)
+        driver.load_page(victim)
+        assert events == []
+
+    def test_unknown_kprobe_rejected(self):
+        sim, driver = self.make_driver()
+        with pytest.raises(ValueError):
+            driver.attach_kprobe("nonsense", lambda *a: None)
+
+    def test_destroy_enclave_frees_frames(self):
+        sim, driver = self.make_driver(capacity=4096)
+        enclave = driver.create_enclave(EnclaveConfig())
+        used = driver.epc.resident_pages
+        driver.destroy_enclave(enclave)
+        assert driver.epc.resident_pages == 0
+        assert used > 0
+        assert enclave.destroyed
+
+    def test_enclave_for_vaddr(self):
+        sim, driver = self.make_driver(capacity=8192)
+        a = driver.create_enclave(EnclaveConfig())
+        b = driver.create_enclave(EnclaveConfig())
+        assert driver.enclave_for_vaddr(a.base_vaddr) is a
+        assert driver.enclave_for_vaddr(b.base_vaddr + 4096) is b
+        assert driver.enclave_for_vaddr(0x1000) is None

@@ -1,0 +1,100 @@
+"""Timer interrupts and the simulated process (signals, threads)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.interrupts import TimerInterruptSource
+from repro.sim.process import SIGSEGV, SIGUSR1, SignalFault, SimProcess
+from repro.sim.rng import DeterministicRng
+
+
+class TestTimerInterrupts:
+    def test_period_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TimerInterruptSource(DeterministicRng(0), period_ns=0)
+
+    def test_ticks_in_window(self):
+        timer = TimerInterruptSource(DeterministicRng(0), period_ns=100)
+        phase = timer.phase_ns
+        ticks = list(timer.ticks_in(phase, phase + 350))
+        assert ticks == [phase + 100, phase + 200, phase + 300]
+
+    def test_tick_at_start_excluded_at_end_included(self):
+        timer = TimerInterruptSource(DeterministicRng(0), period_ns=100)
+        phase = timer.phase_ns
+        assert phase + 100 not in list(timer.ticks_in(phase + 100, phase + 150))
+        assert phase + 200 in list(timer.ticks_in(phase + 150, phase + 200))
+
+    def test_empty_window(self):
+        timer = TimerInterruptSource(DeterministicRng(0), period_ns=100)
+        assert list(timer.ticks_in(500, 500)) == []
+        assert timer.count_in(500, 400) == 0
+
+    @given(
+        st.integers(min_value=0, max_value=10**7),
+        st.integers(min_value=0, max_value=10**7),
+    )
+    def test_count_matches_enumeration(self, start, span):
+        timer = TimerInterruptSource(DeterministicRng(9), period_ns=3_943)
+        end = start + span
+        assert timer.count_in(start, end) == len(list(timer.ticks_in(start, end)))
+
+    def test_long_window_average_rate(self):
+        timer = TimerInterruptSource(DeterministicRng(1), period_ns=1_000)
+        count = timer.count_in(0, 1_000_000)
+        assert 999 <= count <= 1_001
+
+
+class TestSimProcess:
+    def test_pthread_create_runs_thread(self):
+        process = SimProcess()
+        log = []
+        process.pthread_create(lambda: log.append("ran"), name="t")
+        process.sim.run()
+        assert log == ["ran"]
+        assert process.threads[0].name == "t"
+
+    def test_pthread_create_charges_time(self):
+        process = SimProcess()
+        process.pthread_create(lambda: None)
+        assert process.sim.now_ns > 0
+
+    def test_signal_handler_roundtrip(self):
+        process = SimProcess()
+        seen = []
+        process.register_signal_handler(SIGUSR1, lambda s, i: seen.append((s, i)) or True)
+        assert process.deliver_signal(SIGUSR1, "info") is True
+        assert seen == [(SIGUSR1, "info")]
+
+    def test_unhandled_signal_raises(self):
+        with pytest.raises(SignalFault):
+            SimProcess().deliver_signal(SIGSEGV, None)
+
+    def test_handler_replacement_returns_previous(self):
+        process = SimProcess()
+        first = lambda s, i: True  # noqa: E731
+        second = lambda s, i: False  # noqa: E731
+        assert process.register_signal_handler(SIGUSR1, first) is None
+        assert process.register_signal_handler(SIGUSR1, second) is first
+
+    def test_handler_removal(self):
+        process = SimProcess()
+        process.register_signal_handler(SIGUSR1, lambda s, i: True)
+        process.register_signal_handler(SIGUSR1, None)
+        assert not process.has_signal_handler(SIGUSR1)
+
+    def test_signal_symbol_is_interposable(self):
+        """The logger shadows signal()/sigaction() through the loader."""
+        process = SimProcess()
+        recorded = []
+        from repro.sim.loader import Library
+
+        real = process.loader.resolve("sigaction")
+
+        def shadow(signum, handler):
+            recorded.append(signum)
+            return real(signum, handler)
+
+        process.loader.preload(Library("logger", {"sigaction": shadow}))
+        process.register_signal_handler(SIGUSR1, lambda s, i: True)
+        assert recorded == [SIGUSR1]

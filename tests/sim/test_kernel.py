@@ -1,0 +1,214 @@
+"""The deterministic cooperative scheduler."""
+
+import pytest
+
+from repro.sim.kernel import DeadlockError, Simulation, SimulationError
+
+
+class TestInlineMode:
+    def test_compute_advances_clock(self):
+        sim = Simulation()
+        sim.compute(1_000)
+        assert sim.now_ns == 1_000
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ValueError):
+            Simulation().compute(-5)
+
+    def test_block_outside_thread_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulation().block_current()
+
+    def test_futex_wait_outside_thread_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulation().futex_wait("k")
+
+
+class TestScheduling:
+    def test_single_thread_runs_to_completion(self):
+        sim = Simulation()
+        log = []
+        sim.spawn(lambda: log.append(sim.now_ns))
+        sim.run()
+        assert log == [0]
+
+    def test_thread_result_captured(self):
+        sim = Simulation()
+        thread = sim.spawn(lambda: 41 + 1)
+        sim.run()
+        assert thread.result == 42
+
+    def test_threads_interleave_by_virtual_time(self):
+        sim = Simulation()
+        log = []
+
+        def worker(name, step):
+            for _ in range(3):
+                sim.compute(step)
+                log.append((name, sim.now_ns))
+
+        sim.spawn(worker, "fast", 10)
+        sim.spawn(worker, "slow", 25)
+        sim.run()
+        # Events must come out in global time order.
+        times = [t for _, t in log]
+        assert times == sorted(times)
+        assert ("fast", 10) in log and ("slow", 25) in log
+
+    def test_spawn_order_breaks_ties(self):
+        sim = Simulation()
+        log = []
+        sim.spawn(lambda: log.append("first"))
+        sim.spawn(lambda: log.append("second"))
+        sim.run()
+        assert log == ["first", "second"]
+
+    def test_exception_propagates_to_run(self):
+        sim = Simulation()
+
+        def boom():
+            sim.compute(10)
+            raise ValueError("boom")
+
+        sim.spawn(boom)
+        with pytest.raises(ValueError, match="boom"):
+            sim.run()
+
+    def test_daemon_threads_killed_at_end(self):
+        sim = Simulation()
+        log = []
+
+        def daemon():
+            while True:
+                sim.compute(5)
+                log.append("tick")
+
+        def main():
+            sim.compute(20)
+
+        sim.spawn(daemon, daemon=True)
+        sim.spawn(main)
+        sim.run()
+        assert 1 <= len(log) <= 10  # ran some, then killed
+
+    def test_deadlock_detected(self):
+        sim = Simulation()
+        sim.spawn(lambda: sim.futex_wait("never"))
+        with pytest.raises(DeadlockError):
+            sim.run()
+
+    def test_determinism_across_runs(self):
+        def run_once():
+            sim = Simulation(seed=5)
+            log = []
+
+            def worker(i):
+                for _ in range(4):
+                    sim.compute(sim.rng.jitter_ns(f"w{i}", 1_000))
+                    log.append((i, sim.now_ns))
+
+            for i in range(3):
+                sim.spawn(worker, i)
+            sim.run()
+            return log
+
+        assert run_once() == run_once()
+
+    def test_nested_spawn(self):
+        sim = Simulation()
+        log = []
+
+        def child():
+            sim.compute(5)
+            log.append("child")
+
+        def parent():
+            sim.spawn(child)
+            sim.compute(1)
+            log.append("parent")
+
+        sim.spawn(parent)
+        sim.run()
+        assert set(log) == {"parent", "child"}
+
+
+class TestFutex:
+    def test_wait_and_wake(self):
+        sim = Simulation()
+        log = []
+
+        def waiter():
+            sim.futex_wait("key")
+            log.append(("woken", sim.now_ns))
+
+        def waker():
+            sim.compute(100)
+            assert sim.futex_wake("key") == 1
+
+        sim.spawn(waiter)
+        sim.spawn(waker)
+        sim.run()
+        assert log == [("woken", 100)]
+
+    def test_wake_without_waiters_returns_zero(self):
+        sim = Simulation()
+        sim.spawn(lambda: None)
+        assert sim.futex_wake("nobody") == 0
+        sim.run()
+
+    def test_wake_count_limits(self):
+        sim = Simulation()
+        woken = []
+
+        def waiter(i):
+            sim.futex_wait("k")
+            woken.append(i)
+
+        def waker():
+            sim.compute(10)
+            assert sim.futex_wake("k", count=2) == 2
+            sim.compute(10)
+            assert sim.futex_wake("k", count=5) == 1
+
+        for i in range(3):
+            sim.spawn(waiter, i)
+        sim.spawn(waker)
+        sim.run()
+        assert sorted(woken) == [0, 1, 2]
+
+    def test_fifo_wake_order(self):
+        sim = Simulation()
+        order = []
+
+        def waiter(i):
+            sim.compute(i)  # enqueue in a known order
+            sim.futex_wait("k")
+            order.append(i)
+
+        def waker():
+            sim.compute(100)
+            for _ in range(3):
+                sim.futex_wake("k")
+                sim.compute(1)
+
+        for i in range(3):
+            sim.spawn(waiter, i)
+        sim.spawn(waker)
+        sim.run()
+        assert order == [0, 1, 2]
+
+    def test_waiter_count(self):
+        sim = Simulation()
+
+        def waiter():
+            sim.futex_wait("k")
+
+        def checker():
+            sim.compute(50)
+            assert sim.futex_waiters("k") == 2
+            sim.futex_wake("k", count=2)
+
+        sim.spawn(waiter)
+        sim.spawn(waiter)
+        sim.spawn(checker)
+        sim.run()

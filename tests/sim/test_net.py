@@ -1,0 +1,158 @@
+"""Simulated sockets and listeners."""
+
+import pytest
+
+from repro.sim.kernel import Simulation
+from repro.sim.net import Listener, SocketClosed, socket_pair
+
+
+def test_send_recv_roundtrip():
+    sim = Simulation()
+    a, b = socket_pair(sim)
+    a.send(b"hello")
+    assert b.recv(100, blocking=False) == b"hello"
+
+
+def test_partial_recv():
+    sim = Simulation()
+    a, b = socket_pair(sim)
+    a.send(b"hello world")
+    assert b.recv(5, blocking=False) == b"hello"
+    assert b.pending() == 6
+    assert b.recv(100, blocking=False) == b" world"
+
+
+def test_nonblocking_empty_returns_empty():
+    sim = Simulation()
+    a, b = socket_pair(sim)
+    assert b.recv(10, blocking=False) == b""
+
+
+def test_blocking_recv_wakes_on_send():
+    sim = Simulation()
+    a, b = socket_pair(sim)
+    got = []
+
+    def reader():
+        got.append(b.recv(100, blocking=True))
+
+    def writer():
+        sim.compute(1_000)
+        a.send(b"data")
+
+    sim.spawn(reader)
+    sim.spawn(writer)
+    sim.run()
+    assert got == [b"data"]
+    assert sim.now_ns >= 1_000
+
+
+def test_recv_charges_latency_on_fresh_burst():
+    sim = Simulation()
+    a, b = socket_pair(sim)
+    a.send(b"xx")
+    t0 = sim.now_ns
+    b.recv(1, blocking=False)
+    first_cost = sim.now_ns - t0
+    t0 = sim.now_ns
+    b.recv(1, blocking=False)
+    second_cost = sim.now_ns - t0
+    assert first_cost > second_cost  # wire latency only once per burst
+
+
+def test_eof_after_peer_close():
+    sim = Simulation()
+    a, b = socket_pair(sim)
+    a.send(b"bye")
+    a.close()
+    assert not b.eof()  # data still buffered
+    assert b.recv(10, blocking=False) == b"bye"
+    assert b.eof()
+    assert b.recv(10, blocking=True) == b""
+
+
+def test_send_on_closed_raises():
+    sim = Simulation()
+    a, b = socket_pair(sim)
+    b.close()
+    with pytest.raises(SocketClosed):
+        a.send(b"x")
+
+
+def test_recv_on_locally_closed_raises():
+    sim = Simulation()
+    a, b = socket_pair(sim)
+    a.close()
+    with pytest.raises(SocketClosed):
+        a.recv(1)
+
+
+def test_close_wakes_blocked_reader():
+    sim = Simulation()
+    a, b = socket_pair(sim)
+    got = []
+
+    def reader():
+        got.append(b.recv(10, blocking=True))
+
+    def closer():
+        sim.compute(500)
+        a.close()
+
+    sim.spawn(reader)
+    sim.spawn(closer)
+    sim.run()
+    assert got == [b""]
+
+
+class TestListener:
+    def test_connect_accept(self):
+        sim = Simulation()
+        listener = Listener(sim)
+        results = {}
+
+        def client():
+            sock = listener.connect()
+            sock.send(b"ping")
+            results["reply"] = sock.recv(10, blocking=True)
+
+        def server():
+            conn = listener.accept(blocking=True)
+            data = conn.recv(10, blocking=True)
+            conn.send(data.upper())
+
+        sim.spawn(server)
+        sim.spawn(client)
+        sim.run()
+        assert results["reply"] == b"PING"
+
+    def test_accept_nonblocking_empty(self):
+        sim = Simulation()
+        listener = Listener(sim)
+        assert listener.accept(blocking=False) is None
+
+    def test_connect_to_closed_listener(self):
+        sim = Simulation()
+        listener = Listener(sim)
+        listener.close()
+        with pytest.raises(SocketClosed):
+            listener.connect()
+
+    def test_backlog_queues_connections(self):
+        sim = Simulation()
+        listener = Listener(sim)
+        accepted = []
+
+        def clients():
+            for _ in range(3):
+                listener.connect()
+
+        def server():
+            sim.compute(1_000_000)
+            for _ in range(3):
+                accepted.append(listener.accept(blocking=True))
+
+        sim.spawn(clients)
+        sim.spawn(server)
+        sim.run()
+        assert len(accepted) == 3

@@ -1,0 +1,123 @@
+"""Virtual OS: files and syscall cost accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.kernel import Simulation
+from repro.sim.syscalls import FileSystemError, SyscallCosts, VirtualOS
+
+
+@pytest.fixture
+def os_():
+    return VirtualOS(Simulation(seed=1))
+
+
+class TestFileOps:
+    def test_open_write_read_roundtrip(self, os_):
+        fd = os_.open("/tmp/a")
+        os_.write(fd, b"hello world")
+        os_.lseek(fd, 0)
+        assert os_.read(fd, 5) == b"hello"
+        assert os_.read(fd, 100) == b" world"
+
+    def test_open_missing_without_create(self, os_):
+        with pytest.raises(FileSystemError):
+            os_.open("/none", create=False)
+
+    def test_lseek_whence_modes(self, os_):
+        fd = os_.open("/f")
+        os_.write(fd, b"0123456789")
+        assert os_.lseek(fd, 2, VirtualOS.SEEK_SET) == 2
+        assert os_.lseek(fd, 3, VirtualOS.SEEK_CUR) == 5
+        assert os_.lseek(fd, -1, VirtualOS.SEEK_END) == 9
+        with pytest.raises(FileSystemError):
+            os_.lseek(fd, -100, VirtualOS.SEEK_SET)
+        with pytest.raises(FileSystemError):
+            os_.lseek(fd, 0, 9)
+
+    def test_write_past_end_zero_fills(self, os_):
+        fd = os_.open("/f")
+        os_.lseek(fd, 5)
+        os_.write(fd, b"xy")
+        assert os_.file_size("/f") == 7
+        assert os_.pread(fd, 7, 0) == b"\x00\x00\x00\x00\x00xy"
+
+    def test_pwrite_pread_positioned(self, os_):
+        fd = os_.open("/f")
+        os_.pwrite(fd, b"abcdef", 0)
+        os_.pwrite(fd, b"XY", 2)
+        assert os_.pread(fd, 6, 0) == b"abXYef"
+        # Positioned I/O must not disturb the file offset.
+        assert os_.read(fd, 2) == b"ab"
+
+    def test_ftruncate_shrink_and_grow(self, os_):
+        fd = os_.open("/f")
+        os_.write(fd, b"abcdef")
+        os_.ftruncate(fd, 3)
+        assert os_.file_size("/f") == 3
+        os_.ftruncate(fd, 6)
+        assert os_.pread(fd, 6, 0) == b"abc\x00\x00\x00"
+
+    def test_close_invalidates_fd(self, os_):
+        fd = os_.open("/f")
+        os_.close(fd)
+        with pytest.raises(FileSystemError):
+            os_.read(fd, 1)
+
+    def test_unlink(self, os_):
+        os_.open("/f")
+        os_.unlink("/f")
+        assert not os_.exists("/f")
+        with pytest.raises(FileSystemError):
+            os_.unlink("/f")
+
+    def test_two_fds_share_file(self, os_):
+        fd1 = os_.open("/f")
+        fd2 = os_.open("/f")
+        os_.write(fd1, b"shared")
+        assert os_.pread(fd2, 6, 0) == b"shared"
+
+    @given(st.binary(max_size=512), st.integers(min_value=0, max_value=128))
+    def test_splice_roundtrip(self, data, offset):
+        os_ = VirtualOS(Simulation())
+        fd = os_.open("/p")
+        os_.pwrite(fd, data, offset)
+        assert os_.pread(fd, len(data), offset) == data
+
+
+class TestCostAccounting:
+    def test_each_op_charges_time(self, os_):
+        fd = os_.open("/f")
+        before = os_.sim.now_ns
+        os_.write(fd, b"x" * 4096)
+        assert os_.sim.now_ns > before
+
+    def test_counters_track_calls(self, os_):
+        fd = os_.open("/f")
+        os_.lseek(fd, 0)
+        os_.lseek(fd, 0)
+        os_.write(fd, b"a")
+        os_.fsync(fd)
+        assert os_.counters["lseek"] == 2
+        assert os_.counters["write"] == 1
+        assert os_.counters["fsync"] == 1
+
+    def test_write_cost_scales_with_size(self):
+        costs = SyscallCosts(jitter=0.0001)
+        small_os = VirtualOS(Simulation(), costs)
+        fd = small_os.open("/f")
+        t0 = small_os.sim.now_ns
+        small_os.write(fd, b"x")
+        small_cost = small_os.sim.now_ns - t0
+        t0 = small_os.sim.now_ns
+        small_os.write(fd, b"x" * 65536)
+        big_cost = small_os.sim.now_ns - t0
+        assert big_cost > small_cost * 2
+
+    def test_custom_costs_respected(self):
+        costs = SyscallCosts(fsync_ns=1_000_000, jitter=0.0001)
+        os_ = VirtualOS(Simulation(), costs)
+        fd = os_.open("/f")
+        t0 = os_.sim.now_ns
+        os_.fsync(fd)
+        assert os_.sim.now_ns - t0 > 900_000

@@ -1,0 +1,186 @@
+"""Multi-tenant EPC sharing, failure injection, multi-enclave tracing.
+
+Scenarios beyond the happy path: two applications competing for one EPC
+(the §3.5 multi-tenant cloud case), exceptions unwinding through the
+ecall/logger machinery without corrupting state, and one logger observing
+several enclaves at once.
+"""
+
+import pytest
+
+from repro.perf.logger import AexMode, EventLogger
+from repro.sdk.edger8r import build_enclave
+from repro.sdk.urts import Urts
+from repro.sgx.device import SgxDevice
+from repro.sgx.enclave import EnclaveConfig
+from repro.sgx.epc import Epc
+from repro.sim.kernel import Simulation
+from repro.sim.process import SimProcess
+
+EDL = """
+enclave {
+    trusted {
+        public int ecall_touch_all(void);
+        public int ecall_boom(void);
+        public int ecall_ok(void);
+    };
+    untrusted { void ocall_noop(void); };
+};
+"""
+
+
+def build_app(process, device, name="app", heap_pages=64):
+    urts = Urts(process, device)
+    state = {}
+
+    def ecall_touch_all(ctx):
+        buf = state.get("buf")
+        if buf is None:
+            buf = ctx.malloc(heap_pages * 4096 - 64)
+            state["buf"] = buf
+        ctx.touch(buf, write=True)
+        return 0
+
+    def ecall_boom(ctx):
+        ctx.compute(500)
+        raise RuntimeError("enclave code crashed")
+
+    handle = build_enclave(
+        urts,
+        EDL,
+        {
+            "ecall_touch_all": ecall_touch_all,
+            "ecall_boom": ecall_boom,
+            "ecall_ok": lambda ctx: 7,
+        },
+        {"ocall_noop": lambda uctx: None},
+        config=EnclaveConfig(
+            name=name,
+            heap_bytes=(heap_pages + 1) * 4096,
+            code_bytes=64 * 1024,
+            stack_bytes=16 * 1024,
+            tcs_count=1,
+        ),
+    )
+    return urts, handle
+
+
+class TestMultiTenantEpc:
+    def test_two_processes_share_one_epc(self):
+        """Two tenants on one machine evict each other's pages (§3.5)."""
+        sim = Simulation(seed=3)
+        device = SgxDevice(sim, epc=Epc(capacity_pages=280))
+        tenant_a = SimProcess(sim=sim)
+        tenant_b = SimProcess(sim=sim)
+        _, handle_a = build_app(tenant_a, device, "tenant-a", heap_pages=120)
+        _, handle_b = build_app(tenant_b, device, "tenant-b", heap_pages=120)
+
+        handle_a.ecall("ecall_touch_all")  # A warm
+        faults_before = device.driver.stats["faults"]
+        handle_b.ecall("ecall_touch_all")  # B evicts much of A
+        handle_a.ecall("ecall_touch_all")  # A faults back in
+        assert device.driver.stats["faults"] > faults_before
+        assert device.driver.stats["page_out"] > 0
+
+    def test_lone_tenant_no_faults_after_warmup(self):
+        sim = Simulation(seed=3)
+        device = SgxDevice(sim, epc=Epc(capacity_pages=2048))
+        tenant = SimProcess(sim=sim)
+        _, handle = build_app(tenant, device, heap_pages=120)
+        handle.ecall("ecall_touch_all")
+        before = device.driver.stats["faults"]
+        handle.ecall("ecall_touch_all")
+        assert device.driver.stats["faults"] == before
+
+    def test_enclave_destruction_relieves_pressure(self):
+        sim = Simulation(seed=4)
+        device = SgxDevice(sim, epc=Epc(capacity_pages=300))
+        tenant_a = SimProcess(sim=sim)
+        tenant_b = SimProcess(sim=sim)
+        urts_a, handle_a = build_app(tenant_a, device, heap_pages=120)
+        _, handle_b = build_app(tenant_b, device, heap_pages=120)
+        free_before = device.epc.free_pages
+        resident_a = sum(1 for p in handle_a.enclave.pages if p.resident)
+        handle_a.destroy()
+        # Every frame tenant A still held is back in the pool.
+        assert device.epc.free_pages == free_before + resident_a
+        assert resident_a > 0
+
+
+class TestFailureInjection:
+    def test_exception_unwinds_ecall_and_releases_tcs(self):
+        process = SimProcess(seed=5)
+        device = SgxDevice(process.sim)
+        urts, handle = build_app(process, device)
+        for _ in range(3):  # repeated crashes must not leak TCSs
+            with pytest.raises(RuntimeError, match="crashed"):
+                handle.ecall("ecall_boom")
+        assert handle.ecall("ecall_ok") == 7
+
+    def test_exception_with_logger_keeps_trace_consistent(self):
+        process = SimProcess(seed=6)
+        device = SgxDevice(process.sim)
+        urts, handle = build_app(process, device)
+        logger = EventLogger(process, urts, aex_mode=AexMode.OFF)
+        logger.install()
+        with pytest.raises(RuntimeError):
+            handle.ecall("ecall_boom")
+        handle.ecall("ecall_ok")
+        logger.uninstall()
+        db = logger.finalize()
+        calls = db.calls(kind="ecall")
+        # Both calls recorded, with closed intervals, and the logger's
+        # per-thread stack did not leak the crashed frame.
+        assert [c.name for c in calls] == ["ecall_boom", "ecall_ok"]
+        assert all(c.end_ns >= c.start_ns for c in calls)
+        assert calls[1].parent_id is None
+
+    def test_exception_in_simthread_propagates(self):
+        process = SimProcess(seed=7)
+        device = SgxDevice(process.sim)
+        urts, handle = build_app(process, device)
+
+        def worker():
+            handle.ecall("ecall_boom")
+
+        process.sim.spawn(worker)
+        with pytest.raises(RuntimeError, match="crashed"):
+            process.sim.run()
+
+
+class TestMultiEnclaveTracing:
+    def test_one_logger_two_enclaves(self):
+        process = SimProcess(seed=8)
+        device = SgxDevice(process.sim)
+        urts = Urts(process, device)
+
+        def impls(tag):
+            return {
+                "ecall_touch_all": lambda ctx: 0,
+                "ecall_boom": lambda ctx: 0,
+                "ecall_ok": lambda ctx: tag,
+            }
+
+        handle_a = build_enclave(
+            urts, EDL, impls(1), {"ocall_noop": lambda u: None},
+            config=EnclaveConfig(name="a"),
+        )
+        handle_b = build_enclave(
+            urts, EDL, impls(2), {"ocall_noop": lambda u: None},
+            config=EnclaveConfig(name="b"),
+        )
+        logger = EventLogger(process, urts, aex_mode=AexMode.OFF)
+        logger.install()
+        assert handle_a.ecall("ecall_ok") == 1
+        assert handle_b.ecall("ecall_ok") == 2
+        assert handle_a.ecall("ecall_ok") == 1
+        logger.uninstall()
+        db = logger.finalize()
+        by_enclave = {}
+        for event in db.calls():
+            by_enclave.setdefault(event.enclave_id, 0)
+            by_enclave[event.enclave_id] += 1
+        assert by_enclave == {handle_a.enclave_id: 2, handle_b.enclave_id: 1}
+        # One stub table per enclave interface ("exactly once per enclave").
+        assert len(logger._stub_tables) == 2
+        assert {e.name for e in db.enclaves()} == {"a", "b"}
