@@ -153,9 +153,9 @@ def _mean_call_ns(seed: int, ecall: str, calls: int, mode: Optional[AexMode], wa
 def _total_aex(logger: Optional[EventLogger]) -> int:
     if logger is None or logger.db is None:
         return 0
+    logger.flush()  # drain the per-thread buffers before reading
     rows = logger.db.execute("SELECT COALESCE(SUM(aex_count), 0) FROM calls")
-    buffered = sum(r[8] for r in logger.db._calls)  # not yet flushed rows
-    return int(rows[0][0]) + buffered
+    return int(rows[0][0])
 
 
 def run_table2(

@@ -3,59 +3,71 @@
 Nodes are calls ("[id] name", square for ecalls, round for ocalls); solid
 edges connect direct parents to children, dashed edges connect indirect
 parents; edge labels carry call counts.
+
+The graph is aggregated from :class:`~repro.perf.columns.CallColumns` —
+per-event parent relations reduce to ``np.unique`` counts over code pairs
+rather than a Python loop over every event.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Sequence, Union
 
 import networkx as nx
+import numpy as np
 
 from repro.perf.analysis import parents as parents_mod
+from repro.perf.columns import CallColumns, as_columns
 from repro.perf.events import CallEvent, ECALL
 
 DIRECT = "direct"
 INDIRECT = "indirect"
 
 
-def build_call_graph(calls: Sequence[CallEvent]) -> nx.MultiDiGraph:
+def _bump_pair_edges(
+    graph: nx.MultiDiGraph,
+    node_keys: list[str],
+    src_codes: np.ndarray,
+    dst_codes: np.ndarray,
+    relation: str,
+) -> None:
+    """Add one ``relation`` edge per distinct (src, dst) pair with its count,
+    in first-appearance order."""
+    if len(src_codes) == 0:
+        return
+    n_codes = len(node_keys)
+    pair = src_codes * n_codes + dst_codes
+    uniq, first, counts = np.unique(pair, return_index=True, return_counts=True)
+    appearance = np.argsort(first, kind="stable")
+    for u, c in zip(uniq[appearance].tolist(), counts[appearance].tolist()):
+        src, dst = node_keys[u // n_codes], node_keys[u % n_codes]
+        graph.add_edge(src, dst, key=relation, relation=relation, count=int(c))
+
+
+def build_call_graph(calls: Union[CallColumns, Sequence[CallEvent]]) -> nx.MultiDiGraph:
     """Aggregate per-event parent relations into a name-level graph."""
+    cols = as_columns(calls)
     graph = nx.MultiDiGraph()
-    by_id = parents_mod.index_by_id(calls)
-    indirect = parents_mod.compute_indirect_parents(calls)
-
-    def node_key(event: CallEvent) -> str:
-        return f"{event.kind}:{event.name}"
-
-    def ensure_node(event: CallEvent) -> str:
-        key = node_key(event)
-        if key not in graph:
-            graph.add_node(
-                key,
-                name=event.name,
-                kind=event.kind,
-                call_index=event.call_index,
-                count=0,
-            )
-        return key
-
-    def bump_edge(src: str, dst: str, relation: str) -> None:
-        data = graph.get_edge_data(src, dst, key=relation)
-        if data is None:
-            graph.add_edge(src, dst, key=relation, relation=relation, count=1)
-        else:
-            data["count"] += 1
-
-    for event in calls:
-        key = ensure_node(event)
-        graph.nodes[key]["count"] += 1
-        if event.parent_id is not None and event.parent_id in by_id:
-            parent = by_id[event.parent_id]
-            bump_edge(ensure_node(parent), key, DIRECT)
-        parent_id = indirect.get(event.event_id)
-        if parent_id is not None and parent_id in by_id:
-            parent = by_id[parent_id]
-            bump_edge(ensure_node(parent), key, INDIRECT)
+    if len(cols) == 0:
+        return graph
+    codes, keys = cols.group_codes()
+    node_keys = [f"{kind}:{name}" for kind, name in keys]
+    for (kind, name), rows in cols.group_indices():
+        first = int(rows[0])
+        graph.add_node(
+            node_keys[int(codes[first])],
+            name=name,
+            kind=kind,
+            call_index=int(cols.call_index[first]),
+            count=int(len(rows)),
+        )
+    parent_pos = cols.positions_of(cols.parent_id)
+    direct_children = np.flatnonzero(parent_pos >= 0)
+    _bump_pair_edges(
+        graph, node_keys, codes[parent_pos[direct_children]], codes[direct_children], DIRECT
+    )
+    ind_children, ind_parents = parents_mod.indirect_parent_links(cols)
+    _bump_pair_edges(graph, node_keys, codes[ind_parents], codes[ind_children], INDIRECT)
     return graph
 
 

@@ -16,19 +16,26 @@ Implements the paper's detection equations with its default weights:
   sleeps are short → hybrid spin-then-sleep locks / lock-free structures.
 * **Paging** (§3.5): any EPC traffic during the trace, correlated with the
   ecalls it interrupted.
+
+All detectors consume :class:`~repro.perf.columns.CallColumns` internally
+(legacy ``Sequence[CallEvent]`` inputs are coerced), grouping and
+thresholding on NumPy arrays instead of per-event objects.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Sequence, Union
 
 import numpy as np
 
 from repro.perf.analysis import parents as parents_mod
 from repro.perf.analysis import stats as stats_mod
+from repro.perf.columns import CallColumns, as_columns
 from repro.perf.events import CallEvent, ECALL, OCALL, PagingRecord, SyncEvent, SyncKind
+
+Calls = Union[CallColumns, Sequence[CallEvent]]
 
 
 class Problem(enum.Enum):
@@ -122,22 +129,36 @@ class AnalyzerWeights:
     ssc_short_sleep_ns: int = 50_000
 
 
+def _grouped_rows(keys: np.ndarray) -> list[tuple[str, np.ndarray]]:
+    """Row indices per distinct key string, in sorted-key order."""
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    order = np.argsort(inverse, kind="stable")
+    boundaries = np.flatnonzero(np.diff(inverse[order])) + 1
+    return [
+        (str(uniq[i]), rows) for i, rows in enumerate(np.split(order, boundaries))
+    ]
+
+
 # --------------------------------------------------------------------------
 # Equation 1: moving / duplication opportunities
 # --------------------------------------------------------------------------
 
 
 def detect_move_candidates(
-    calls: Sequence[CallEvent],
+    calls: Calls,
     transition_round_trip_ns: int,
     weights: AnalyzerWeights = AnalyzerWeights(),
 ) -> list[Finding]:
     """Flag calls whose executions are mostly shorter than a transition."""
+    cols = as_columns(calls)
+    durations = cols.duration_ns()
     findings: list[Finding] = []
-    for (kind, name), group in sorted(stats_mod.group_by_name(calls).items()):
-        if group[0].is_sync or len(group) < weights.min_calls:
+    for (kind, name), rows in sorted(cols.group_indices(), key=lambda g: g[0]):
+        if cols.is_sync[rows[0]] or len(rows) < weights.min_calls:
             continue
-        exec_ns = stats_mod.execution_durations_ns(group, transition_round_trip_ns)
+        exec_ns = durations[rows]
+        if kind == ECALL:
+            exec_ns = np.maximum(exec_ns - int(transition_round_trip_ns), 0)
         total = len(exec_ns)
         c1 = stats_mod.fraction_shorter_than(exec_ns, 1_000)
         c5 = stats_mod.fraction_shorter_than(exec_ns, 5_000)
@@ -176,29 +197,35 @@ def detect_move_candidates(
 
 
 def detect_reorder_candidates(
-    calls: Sequence[CallEvent],
+    calls: Calls,
     weights: AnalyzerWeights = AnalyzerWeights(),
 ) -> list[Finding]:
     """Flag nested calls clustered at the start or end of their parent."""
-    by_id = parents_mod.index_by_id(calls)
-    pairs: dict[tuple[str, str, str], list[tuple[int, int]]] = {}
-    for call in calls:
-        if call.parent_id is None or call.is_sync:
-            continue
-        parent = by_id.get(call.parent_id)
-        if parent is None:
-            continue
-        key = (call.kind, call.name, parent.name)
-        from_start = call.start_ns - parent.start_ns
-        from_end = parent.end_ns - call.end_ns
-        pairs.setdefault(key, []).append((from_start, from_end))
+    cols = as_columns(calls)
+    parent_pos = cols.positions_of(cols.parent_id)
+    nested = np.flatnonzero((parent_pos >= 0) & ~cols.is_sync)
     findings: list[Finding] = []
-    for (kind, name, parent_name), offsets in sorted(pairs.items()):
-        if len(offsets) < weights.min_calls:
+    if len(nested) == 0:
+        return findings
+    parents = parent_pos[nested]
+    from_start_all = cols.start_ns[nested] - cols.start_ns[parents]
+    from_end_all = cols.end_ns[parents] - cols.end_ns[nested]
+    # "\x00" sorts below any name character, so sorted key strings match
+    # sorted (kind, name, parent_name) tuples.
+    keys = np.array(
+        [
+            k + "\x00" + n + "\x00" + p
+            for k, n, p in zip(cols.kind[nested], cols.name[nested], cols.name[parents])
+        ],
+        dtype=object,
+    )
+    for key, rows in _grouped_rows(keys):
+        if len(rows) < weights.min_calls:
             continue
-        total = len(offsets)
-        starts = np.array([o[0] for o in offsets])
-        ends = np.array([o[1] for o in offsets])
+        kind, name, parent_name = key.split("\x00")
+        total = len(rows)
+        starts = from_start_all[rows]
+        ends = from_end_all[rows]
         for label, values in (("start", starts), ("end", ends)):
             c10 = float((values <= 10_000).mean())
             c20 = float((values <= 20_000).mean())
@@ -236,34 +263,43 @@ def detect_reorder_candidates(
 
 
 def detect_merge_batch_candidates(
-    calls: Sequence[CallEvent],
+    calls: Calls,
     weights: AnalyzerWeights = AnalyzerWeights(),
 ) -> list[Finding]:
     """Flag successive short-gap calls for batching (SISC) or merging (SDSC)."""
-    by_id = parents_mod.index_by_id(calls)
-    indirect = parents_mod.compute_indirect_parents(calls)
-    counts_by_name: dict[tuple[str, str], int] = {
-        key: len(group) for key, group in stats_mod.group_by_name(calls).items()
-    }
-    gaps: dict[tuple[tuple[str, str], tuple[str, str]], list[int]] = {}
-    for call in calls:
-        if call.is_sync:
-            continue
-        gap = parents_mod.gap_to_indirect_parent_ns(call, indirect, by_id)
-        if gap is None:
-            continue
-        parent = by_id[indirect[call.event_id]]
-        key = ((call.kind, call.name), (parent.kind, parent.name))
-        gaps.setdefault(key, []).append(gap)
+    cols = as_columns(calls)
+    children, parents = parents_mod.indirect_parent_links(cols)
+    counts_by_name = {key: len(rows) for key, rows in cols.group_indices()}
     findings: list[Finding] = []
-    for (child_key, parent_key), values in sorted(gaps.items()):
-        if len(values) < weights.min_calls:
+    if len(children) == 0:
+        return findings
+    keep = ~cols.is_sync[children]
+    children, parents = children[keep], parents[keep]
+    if len(children) == 0:
+        return findings
+    gaps_all = cols.start_ns[children] - cols.end_ns[parents]
+    keys = np.array(
+        [
+            ck + "\x00" + cn + "\x00" + pk + "\x00" + pn
+            for ck, cn, pk, pn in zip(
+                cols.kind[children],
+                cols.name[children],
+                cols.kind[parents],
+                cols.name[parents],
+            )
+        ],
+        dtype=object,
+    )
+    for key, rows in _grouped_rows(keys):
+        if len(rows) < weights.min_calls:
             continue
+        ck, cn, pk, pn = key.split("\x00")
+        child_key, parent_key = (ck, cn), (pk, pn)
         child_total = counts_by_name[child_key]
         parent_total = counts_by_name[parent_key]
         if parent_total / child_total < weights.merge_lambda:
             continue
-        arr = np.array(values)
+        arr = gaps_all[rows]
         p1 = float((arr <= 1_000).sum()) / parent_total
         p5 = float((arr <= 5_000).sum()) / parent_total
         p10 = float((arr <= 10_000).sum()) / parent_total
@@ -281,13 +317,13 @@ def detect_merge_batch_candidates(
             problem, rec = Problem.SISC, Recommendation.BATCH
             message = (
                 f"{name} is repeatedly its own indirect parent with short gaps "
-                f"({len(values)} successive pairs, score {score:.2f}): batch the calls"
+                f"({len(rows)} successive pairs, score {score:.2f}): batch the calls"
             )
         else:
             problem, rec = Problem.SDSC, Recommendation.MERGE
             message = (
                 f"{name} frequently follows {parent_key[1]} within microseconds "
-                f"({len(values)} pairs, score {score:.2f}): merge them into one call"
+                f"({len(rows)} pairs, score {score:.2f}): merge them into one call"
             )
         findings.append(
             Finding(
@@ -298,7 +334,7 @@ def detect_merge_batch_candidates(
                 message=message,
                 evidence={
                     "indirect_parent": parent_key[1],
-                    "pairs": len(values),
+                    "pairs": len(rows),
                     "p1": p1,
                     "p5": p5,
                     "p10": p10,
@@ -316,20 +352,21 @@ def detect_merge_batch_candidates(
 
 
 def detect_ssc(
-    calls: Sequence[CallEvent],
+    calls: Calls,
     sync_events: Sequence[SyncEvent],
     weights: AnalyzerWeights = AnalyzerWeights(),
 ) -> list[Finding]:
     """Flag heavy in-enclave synchronisation with short sleeps (§3.4)."""
     if len(sync_events) < weights.ssc_min_events:
         return []
+    cols = as_columns(calls)
     sleeps = [e for e in sync_events if e.kind is SyncKind.SLEEP]
     wakes = [e for e in sync_events if e.kind is SyncKind.WAKE]
-    by_id = parents_mod.index_by_id(calls)
-    sleep_durations = np.array(
-        [by_id[e.call_id].duration_ns for e in sleeps if e.call_id in by_id],
-        dtype=np.int64,
+    sleep_pos = cols.positions_of(
+        np.fromiter((e.call_id for e in sleeps), dtype=np.int64, count=len(sleeps))
     )
+    sleep_pos = sleep_pos[sleep_pos >= 0]
+    sleep_durations = cols.duration_ns()[sleep_pos]
     short_fraction = stats_mod.fraction_shorter_than(
         sleep_durations, weights.ssc_short_sleep_ns
     )
@@ -368,23 +405,25 @@ def detect_ssc(
 
 
 def detect_paging(
-    calls: Sequence[CallEvent],
+    calls: Calls,
     paging: Sequence[PagingRecord],
 ) -> list[Finding]:
     """Flag EPC paging, attributing events to the ecalls they fell into."""
     if not paging:
         return []
+    cols = as_columns(calls)
     page_in = sum(1 for p in paging if p.direction == "page_in")
     page_out = len(paging) - page_in
-    ecalls = sorted(
-        (c for c in calls if c.kind == ECALL), key=lambda c: c.start_ns
-    )
+    ecall_rows = np.flatnonzero(np.asarray(cols.kind, dtype=object) == ECALL)
+    ecall_rows = ecall_rows[np.argsort(cols.start_ns[ecall_rows], kind="stable")]
+    starts = cols.start_ns[ecall_rows]
+    ends = cols.end_ns[ecall_rows]
+    names = cols.name[ecall_rows]
     affected: dict[str, int] = {}
-    starts = np.array([c.start_ns for c in ecalls], dtype=np.int64)
     for record in paging:
         idx = int(np.searchsorted(starts, record.timestamp_ns, side="right")) - 1
-        if 0 <= idx < len(ecalls) and ecalls[idx].end_ns >= record.timestamp_ns:
-            name = ecalls[idx].name
+        if 0 <= idx < len(ecall_rows) and ends[idx] >= record.timestamp_ns:
+            name = str(names[idx])
             affected[name] = affected.get(name, 0) + 1
     distinct_pages = len({(p.enclave_id, p.vaddr) for p in paging})
     return [

@@ -9,12 +9,19 @@ direct parent: the indirect parent of a call is the latest call of its
 kind, on its thread, with the same direct parent, that ended before it
 started.  Top-level calls (no direct parent) chain with other top-level
 calls of the same kind on the same thread — Figure 4 case (1)/(4).
+
+The columnar fast path computes every link in one ``lexsort`` pass
+(:func:`indirect_parent_links`); the event-object helpers remain for
+compatibility and cross-checking.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence, Union
 
+import numpy as np
+
+from repro.perf.columns import CallColumns
 from repro.perf.events import CallEvent
 
 
@@ -23,8 +30,43 @@ def index_by_id(calls: Iterable[CallEvent]) -> dict[int, CallEvent]:
     return {c.event_id: c for c in calls}
 
 
-def compute_indirect_parents(calls: Sequence[CallEvent]) -> dict[int, int]:
+def indirect_parent_links(cols: CallColumns) -> tuple[np.ndarray, np.ndarray]:
+    """All indirect-parent links as ``(child positions, parent positions)``.
+
+    One vectorised pass over the whole trace: sort rows by
+    ``(thread, direct parent, kind, start, id)`` — within each
+    ``(thread, parent, kind)`` group consecutive rows are exactly the
+    Figure 4 chains.
+    """
+    n = len(cols)
+    if n < 2:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    kind_codes = np.unique(np.asarray(cols.kind, dtype=object), return_inverse=True)[1]
+    order = np.lexsort(
+        (cols.event_id, cols.start_ns, kind_codes, cols.parent_id, cols.thread_id)
+    )
+    thread = cols.thread_id[order]
+    parent = cols.parent_id[order]
+    kind = kind_codes[order]
+    same_group = (
+        (thread[1:] == thread[:-1]) & (parent[1:] == parent[:-1]) & (kind[1:] == kind[:-1])
+    )
+    return order[1:][same_group], order[:-1][same_group]
+
+
+def compute_indirect_parents(
+    calls: Union[CallColumns, Sequence[CallEvent]],
+) -> dict[int, int]:
     """Event id → indirect parent event id, per the Figure 4 rules."""
+    if isinstance(calls, CallColumns):
+        children, parents = indirect_parent_links(calls)
+        return dict(
+            zip(
+                calls.event_id[children].tolist(),
+                calls.event_id[parents].tolist(),
+            )
+        )
     groups: dict[tuple[int, Optional[int], str], list[CallEvent]] = {}
     for call in calls:
         key = (call.thread_id, call.parent_id, call.kind)

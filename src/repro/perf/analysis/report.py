@@ -8,14 +8,16 @@ packages the result as an :class:`AnalysisReport` that renders to text.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional
+
+import numpy as np
 
 from repro.perf.analysis import callgraph as callgraph_mod
 from repro.perf.analysis import detectors as det
 from repro.perf.analysis import security as sec
 from repro.perf.analysis import stats as stats_mod
 from repro.perf.database import TraceDatabase
-from repro.perf.events import CallEvent, ECALL, OCALL
+from repro.perf.events import ECALL, OCALL
 from repro.sdk.edl import EnclaveDefinition
 
 DEFAULT_TRANSITION_NS = 2_130  # §2.3.1 baseline if the trace lacks metadata
@@ -109,7 +111,7 @@ class Analyzer:
 
     def run(self) -> AnalysisReport:
         """Run every analysis over the trace."""
-        calls = self.db.calls()
+        calls = self.db.call_columns()
         sync_events = self.db.sync_events()
         paging = self.db.paging_events()
         transition_ns = int(
@@ -128,8 +130,9 @@ class Analyzer:
         if self.definition is not None:
             findings += sec.user_check_findings(self.definition, calls)
 
-        ecalls = [c for c in calls if c.kind == ECALL]
-        ocalls = [c for c in calls if c.kind == OCALL]
+        kinds = np.asarray(calls.kind, dtype=object)
+        ecalls = calls.select(kinds == ECALL)
+        ocalls = calls.select(kinds == OCALL)
         ecall_exec = stats_mod.execution_durations_ns(ecalls, transition_ns)
         ocall_exec = stats_mod.execution_durations_ns(ocalls, transition_ns)
         report = AnalysisReport(
@@ -144,9 +147,9 @@ class Analyzer:
             ocall_short_fraction=stats_mod.fraction_shorter_than(
                 ocall_exec, weights.short_call_ns
             ),
-            distinct_ecalls=len({c.name for c in ecalls}),
-            distinct_ocalls=len({c.name for c in ocalls}),
-            aex_total=sum(c.aex_count for c in calls),
+            distinct_ecalls=len(set(ecalls.name.tolist())),
+            distinct_ocalls=len(set(ocalls.name.tolist())),
+            aex_total=int(calls.aex_count.sum()),
             paging_events=len(paging),
         )
         if self.definition is None:
@@ -160,15 +163,15 @@ class Analyzer:
 
     def histogram(self, kind: str, name: str, bins: int = 100) -> stats_mod.Histogram:
         """Execution-time histogram for one call (Figure 7)."""
-        return stats_mod.histogram(self.db.calls(kind=kind, name=name), bins=bins)
+        return stats_mod.histogram(self.db.call_columns(kind=kind, name=name), bins=bins)
 
     def scatter(self, kind: str, name: str):
         """(start, duration) scatter series for one call (Figure 8)."""
-        return stats_mod.scatter_series(self.db.calls(kind=kind, name=name))
+        return stats_mod.scatter_series(self.db.call_columns(kind=kind, name=name))
 
     def call_graph(self):
         """Name-level call graph with direct/indirect edges (Figure 5)."""
-        return callgraph_mod.build_call_graph(self.db.calls())
+        return callgraph_mod.build_call_graph(self.db.call_columns())
 
     def call_graph_dot(self) -> str:
         """Figure 5-style Graphviz DOT text."""

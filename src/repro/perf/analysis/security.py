@@ -10,31 +10,49 @@ Three hints, all derived from observed behaviour plus (optionally) the EDL:
    ocall is reported instead.
 3. **user_check pointers** — parameters the SDK copies nothing for; the
    developer owns every check, so each one is flagged for review.
+
+Inputs are coerced to :class:`~repro.perf.columns.CallColumns`; the
+parent-kind joins run on arrays rather than per-event dict lookups.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
-from repro.perf.analysis import parents as parents_mod
+import numpy as np
+
 from repro.perf.analysis.detectors import Finding, Problem, Recommendation
+from repro.perf.columns import CallColumns, as_columns
 from repro.perf.events import CallEvent, ECALL, OCALL
-from repro.sdk.edl import Direction, EnclaveDefinition
+from repro.sdk.edl import EnclaveDefinition
+
+Calls = Union[CallColumns, Sequence[CallEvent]]
 
 
-def private_ecall_candidates(calls: Sequence[CallEvent]) -> list[Finding]:
+def _nested_ecall_pairs(cols: CallColumns) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(ecall rows, their parent rows, nested-under-ocall mask over ecall rows)."""
+    kinds = np.asarray(cols.kind, dtype=object)
+    ecall_rows = np.flatnonzero(kinds == ECALL)
+    parent_pos = cols.positions_of(cols.parent_id[ecall_rows])
+    has_ocall_parent = np.zeros(len(ecall_rows), dtype=bool)
+    found = parent_pos >= 0
+    if found.any():
+        has_ocall_parent[found] = kinds[parent_pos[found]] == OCALL
+    return ecall_rows, parent_pos, has_ocall_parent
+
+
+def private_ecall_candidates(calls: Calls) -> list[Finding]:
     """Ecalls only ever issued during ocalls → recommend ``private``."""
-    by_id = parents_mod.index_by_id(calls)
+    cols = as_columns(calls)
+    ecall_rows, parent_pos, nested = _nested_ecall_pairs(cols)
+    if len(ecall_rows) == 0:
+        return []
     always_nested: dict[str, set[str]] = {}
-    disqualified: set[str] = set()
-    for call in calls:
-        if call.kind != ECALL:
-            continue
-        parent = by_id.get(call.parent_id) if call.parent_id is not None else None
-        if parent is not None and parent.kind == OCALL:
-            always_nested.setdefault(call.name, set()).add(parent.name)
-        else:
-            disqualified.add(call.name)
+    nested_names = cols.name[ecall_rows[nested]]
+    parent_names = cols.name[parent_pos[nested]]
+    for child, parent in zip(nested_names.tolist(), parent_names.tolist()):
+        always_nested.setdefault(child, set()).add(parent)
+    disqualified = set(cols.name[ecall_rows[~nested]].tolist())
     findings = []
     for name in sorted(set(always_nested) - disqualified):
         parents = sorted(always_nested[name])
@@ -55,21 +73,22 @@ def private_ecall_candidates(calls: Sequence[CallEvent]) -> list[Finding]:
     return findings
 
 
-def observed_allow_sets(calls: Sequence[CallEvent]) -> dict[str, set[str]]:
+def observed_allow_sets(calls: Calls) -> dict[str, set[str]]:
     """Ocall name → set of ecall names actually issued during it."""
-    by_id = parents_mod.index_by_id(calls)
+    cols = as_columns(calls)
+    ecall_rows, parent_pos, nested = _nested_ecall_pairs(cols)
     observed: dict[str, set[str]] = {}
-    for call in calls:
-        if call.kind != ECALL or call.parent_id is None:
-            continue
-        parent = by_id.get(call.parent_id)
-        if parent is not None and parent.kind == OCALL:
-            observed.setdefault(parent.name, set()).add(call.name)
+    if len(ecall_rows) == 0:
+        return observed
+    nested_names = cols.name[ecall_rows[nested]]
+    parent_names = cols.name[parent_pos[nested]]
+    for child, parent in zip(nested_names.tolist(), parent_names.tolist()):
+        observed.setdefault(parent, set()).add(child)
     return observed
 
 
 def allowlist_findings(
-    calls: Sequence[CallEvent],
+    calls: Calls,
     definition: Optional[EnclaveDefinition] = None,
 ) -> list[Finding]:
     """Compare declared ``allow(...)`` lists against observed behaviour.
@@ -125,13 +144,11 @@ def allowlist_findings(
 
 def user_check_findings(
     definition: EnclaveDefinition,
-    calls: Sequence[CallEvent] = (),
+    calls: Calls = (),
 ) -> list[Finding]:
     """Flag every ``user_check`` pointer, with observed call counts."""
-    counts: dict[tuple[str, str], int] = {}
-    for call in calls:
-        key = (call.kind, call.name)
-        counts[key] = counts.get(key, 0) + 1
+    cols = as_columns(calls)
+    counts = {key: len(rows) for key, rows in cols.group_indices()}
     findings = []
     for kind, call_name, param in definition.user_check_params():
         observed = counts.get((kind, call_name), 0)

@@ -2,16 +2,37 @@
 
 "All events are serialised to a SQLite database.  This makes it possible to
 analyse the data with other tools without having to implement parsing of
-the data." (paper §4).  The writer buffers rows and flushes in batches; the
-reader exposes typed records for the analyser and raw SQL for everyone
-else.
+the data." (paper §4).
+
+The writer is tuned for trace recording (§4.1's "keep the hot path cheap,
+serialise off the critical path" design applied to the store itself):
+
+* rows arrive as **flat tuples** in schema order (``add_*_row``) or in bulk
+  (``add_call_rows`` et al.) — the dataclass-taking ``add_*`` methods
+  remain as thin compatibility shims;
+* buffered rows flush **one transaction per batch** via ``executemany``,
+  with a uniform per-table flush threshold (calls, aex, paging *and* sync);
+* recording pragmas: WAL journaling (file-backed traces),
+  ``synchronous=OFF``, in-memory temp store and a larger page cache — a
+  crashed trace run is worthless anyway, so durability is traded for speed;
+* index creation is **deferred until first read** (bulk-load then index):
+  inserts never pay index maintenance while the logger is recording.
+
+The reader side exposes typed records for compatibility, a **columnar API**
+(:meth:`call_columns`, :meth:`durations_ns`, :meth:`starts_ns`,
+:meth:`call_summary`) returning NumPy arrays straight from SQL for the
+analysers, and raw SQL for everyone else.
 """
 
 from __future__ import annotations
 
 import sqlite3
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
+import numpy as np
+
+from repro.perf.columns import CallColumns
 from repro.perf.events import (
     AexEvent,
     CallEvent,
@@ -22,7 +43,7 @@ from repro.perf.events import (
     ThreadRecord,
 )
 
-_SCHEMA = """
+_SCHEMA_TABLES = """
 CREATE TABLE IF NOT EXISTS meta (
     key TEXT PRIMARY KEY,
     value TEXT NOT NULL
@@ -74,11 +95,36 @@ CREATE TABLE IF NOT EXISTS enclaves (
     tcs_count INTEGER NOT NULL,
     base_vaddr INTEGER NOT NULL
 );
+"""
+
+_SCHEMA_INDEXES = """
 CREATE INDEX IF NOT EXISTS idx_calls_name ON calls(kind, name);
 CREATE INDEX IF NOT EXISTS idx_calls_thread ON calls(thread_id, start_ns);
 """
 
+_INSERT_CALLS = "INSERT INTO calls VALUES (?,?,?,?,?,?,?,?,?,?,?)"
+_INSERT_AEX = "INSERT INTO aex VALUES (?,?,?,?,?)"
+_INSERT_PAGING = "INSERT INTO paging VALUES (?,?,?,?,?)"
+_INSERT_SYNC = "INSERT INTO sync VALUES (?,?,?,?,?,?)"
+
 _FLUSH_THRESHOLD = 4096
+
+
+@dataclass(frozen=True)
+class CallSummary:
+    """One ``call_summary()`` row: per-(kind, name) aggregates from SQL."""
+
+    kind: str
+    name: str
+    count: int
+    total_ns: int
+    min_ns: int
+    max_ns: int
+
+    @property
+    def mean_ns(self) -> float:
+        """Average measured duration."""
+        return self.total_ns / self.count if self.count else 0.0
 
 
 class TraceDatabase:
@@ -86,22 +132,109 @@ class TraceDatabase:
 
     Use as a context manager or call :meth:`close` to flush buffered rows.
     A path of ``":memory:"`` keeps the trace in RAM (handy for tests).
+
+    ``tuned=False`` skips the recording pragmas; ``defer_indexes=False``
+    creates the read indexes eagerly (the seed writer's behaviour, kept for
+    apples-to-apples comparisons).
     """
 
-    def __init__(self, path: str = ":memory:") -> None:
+    def __init__(
+        self,
+        path: str = ":memory:",
+        flush_threshold: int = _FLUSH_THRESHOLD,
+        tuned: bool = True,
+        defer_indexes: bool = True,
+    ) -> None:
         self.path = path
+        self._flush_threshold = max(1, int(flush_threshold))
         # Simulated threads are backed by OS threads, but the cooperative
         # scheduler guarantees only one runs at a time — cross-thread use
-        # of the connection is serialised by construction.
-        self._conn = sqlite3.connect(path, check_same_thread=False)
-        self._conn.executescript(_SCHEMA)
+        # of the connection is serialised by construction.  Autocommit
+        # isolation lets flush() wrap each batch in one explicit
+        # transaction.
+        self._conn = sqlite3.connect(path, check_same_thread=False, isolation_level=None)
+        if tuned:
+            self._apply_recording_pragmas()
+        self._conn.executescript(_SCHEMA_TABLES)
+        self._indexed = False
+        if not defer_indexes:
+            self._create_indexes()
         self._calls: list[tuple] = []
         self._aex: list[tuple] = []
         self._paging: list[tuple] = []
         self._sync: list[tuple] = []
         self._closed = False
 
-    # -- writer side ---------------------------------------------------------
+    def _apply_recording_pragmas(self) -> None:
+        conn = self._conn
+        if self.path != ":memory:":
+            conn.execute("PRAGMA journal_mode=WAL")
+        conn.execute("PRAGMA synchronous=OFF")
+        conn.execute("PRAGMA temp_store=MEMORY")
+        conn.execute("PRAGMA cache_size=-32768")  # 32 MiB page cache
+
+    def _create_indexes(self) -> None:
+        if not self._indexed:
+            self._conn.executescript(_SCHEMA_INDEXES)
+            self._indexed = True
+
+    # -- writer side: flat rows (the fast path) -------------------------------
+
+    def add_call_row(self, row: tuple) -> None:
+        """Buffer one completed call as a flat ``calls``-schema tuple."""
+        buf = self._calls
+        buf.append(row)
+        if len(buf) >= self._flush_threshold:
+            self.flush()
+
+    def add_aex_row(self, row: tuple) -> None:
+        """Buffer one traced AEX row."""
+        buf = self._aex
+        buf.append(row)
+        if len(buf) >= self._flush_threshold:
+            self.flush()
+
+    def add_paging_row(self, row: tuple) -> None:
+        """Buffer one paging row."""
+        buf = self._paging
+        buf.append(row)
+        if len(buf) >= self._flush_threshold:
+            self.flush()
+
+    def add_sync_row(self, row: tuple) -> None:
+        """Buffer one sync sleep/wake row."""
+        buf = self._sync
+        buf.append(row)
+        if len(buf) >= self._flush_threshold:
+            self.flush()
+
+    def add_call_rows(self, rows: Iterable[tuple]) -> None:
+        """Bulk-insert completed call rows (one transaction, no buffering)."""
+        self._write_batch(_INSERT_CALLS, rows)
+
+    def add_aex_rows(self, rows: Iterable[tuple]) -> None:
+        """Bulk-insert traced AEX rows."""
+        self._write_batch(_INSERT_AEX, rows)
+
+    def add_paging_rows(self, rows: Iterable[tuple]) -> None:
+        """Bulk-insert paging rows."""
+        self._write_batch(_INSERT_PAGING, rows)
+
+    def add_sync_rows(self, rows: Iterable[tuple]) -> None:
+        """Bulk-insert sync rows."""
+        self._write_batch(_INSERT_SYNC, rows)
+
+    def _write_batch(self, sql: str, rows: Iterable[tuple]) -> None:
+        conn = self._conn
+        conn.execute("BEGIN")
+        try:
+            conn.executemany(sql, rows)
+        except BaseException:
+            conn.execute("ROLLBACK")
+            raise
+        conn.execute("COMMIT")
+
+    # -- writer side: typed records (compatibility shims) ---------------------
 
     def set_meta(self, key: str, value: str) -> None:
         """Store one key/value metadata pair (patch level, frequency, ...)."""
@@ -111,27 +244,11 @@ class TraceDatabase:
 
     def add_call(self, event: CallEvent) -> None:
         """Buffer one completed call event."""
-        self._calls.append(
-            (
-                event.event_id,
-                event.kind,
-                event.name,
-                event.call_index,
-                event.enclave_id,
-                event.thread_id,
-                event.start_ns,
-                event.end_ns,
-                event.aex_count,
-                event.parent_id,
-                1 if event.is_sync else 0,
-            )
-        )
-        if len(self._calls) >= _FLUSH_THRESHOLD:
-            self.flush()
+        self.add_call_row(event.to_row())
 
     def add_aex(self, event: AexEvent) -> None:
         """Buffer one traced AEX."""
-        self._aex.append(
+        self.add_aex_row(
             (
                 event.event_id,
                 event.timestamp_ns,
@@ -143,7 +260,7 @@ class TraceDatabase:
 
     def add_paging(self, record: PagingRecord) -> None:
         """Buffer one paging event."""
-        self._paging.append(
+        self.add_paging_row(
             (
                 record.event_id,
                 record.timestamp_ns,
@@ -155,7 +272,7 @@ class TraceDatabase:
 
     def add_sync(self, event: SyncEvent) -> None:
         """Buffer one sync sleep/wake event."""
-        self._sync.append(
+        self.add_sync_row(
             (
                 event.event_id,
                 event.timestamp_ns,
@@ -188,22 +305,19 @@ class TraceDatabase:
         )
 
     def flush(self) -> None:
-        """Write buffered rows to the database."""
+        """Write buffered rows to the database, one transaction per batch."""
         if self._calls:
-            self._conn.executemany(
-                "INSERT INTO calls VALUES (?,?,?,?,?,?,?,?,?,?,?)", self._calls
-            )
+            self.add_call_rows(self._calls)
             self._calls.clear()
         if self._aex:
-            self._conn.executemany("INSERT INTO aex VALUES (?,?,?,?,?)", self._aex)
+            self.add_aex_rows(self._aex)
             self._aex.clear()
         if self._paging:
-            self._conn.executemany("INSERT INTO paging VALUES (?,?,?,?,?)", self._paging)
+            self.add_paging_rows(self._paging)
             self._paging.clear()
         if self._sync:
-            self._conn.executemany("INSERT INTO sync VALUES (?,?,?,?,?,?)", self._sync)
+            self.add_sync_rows(self._sync)
             self._sync.clear()
-        self._conn.commit()
 
     def close(self) -> None:
         """Flush and close the underlying connection."""
@@ -218,22 +332,22 @@ class TraceDatabase:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    # -- reader side ---------------------------------------------------------------
+    # -- reader side ---------------------------------------------------------
+
+    def _ensure_read(self) -> None:
+        """Flush pending rows and build the deferred read indexes."""
+        self.flush()
+        self._create_indexes()
 
     def get_meta(self, key: str, default: Optional[str] = None) -> Optional[str]:
         """Fetch one metadata value."""
         row = self._conn.execute("SELECT value FROM meta WHERE key = ?", (key,)).fetchone()
         return row[0] if row else default
 
-    def calls(
-        self,
-        kind: Optional[str] = None,
-        name: Optional[str] = None,
-        enclave_id: Optional[int] = None,
-    ) -> list[CallEvent]:
-        """Load call events, optionally filtered, ordered by start time."""
-        self.flush()
-        query = "SELECT * FROM calls"
+    @staticmethod
+    def _call_filter(
+        kind: Optional[str], name: Optional[str], enclave_id: Optional[int]
+    ) -> tuple[str, list]:
         clauses, params = [], []
         if kind is not None:
             clauses.append("kind = ?")
@@ -244,42 +358,92 @@ class TraceDatabase:
         if enclave_id is not None:
             clauses.append("enclave_id = ?")
             params.append(enclave_id)
-        if clauses:
-            query += " WHERE " + " AND ".join(clauses)
-        query += " ORDER BY start_ns, id"
-        rows = self._conn.execute(query, params).fetchall()
-        return [
-            CallEvent(
-                event_id=r[0],
-                kind=r[1],
-                name=r[2],
-                call_index=r[3],
-                enclave_id=r[4],
-                thread_id=r[5],
-                start_ns=r[6],
-                end_ns=r[7],
-                aex_count=r[8],
-                parent_id=r[9],
-                is_sync=bool(r[10]),
-            )
-            for r in rows
-        ]
+        where = (" WHERE " + " AND ".join(clauses)) if clauses else ""
+        return where, params
+
+    def calls(
+        self,
+        kind: Optional[str] = None,
+        name: Optional[str] = None,
+        enclave_id: Optional[int] = None,
+    ) -> list[CallEvent]:
+        """Load call events, optionally filtered, ordered by start time."""
+        self._ensure_read()
+        where, params = self._call_filter(kind, name, enclave_id)
+        rows = self._conn.execute(
+            "SELECT * FROM calls" + where + " ORDER BY start_ns, id", params
+        ).fetchall()
+        return [CallEvent.from_row(r) for r in rows]
+
+    def call_columns(
+        self,
+        kind: Optional[str] = None,
+        name: Optional[str] = None,
+        enclave_id: Optional[int] = None,
+    ) -> CallColumns:
+        """Load call events as columns — the analyser fast path."""
+        self._ensure_read()
+        where, params = self._call_filter(kind, name, enclave_id)
+        rows = self._conn.execute(
+            "SELECT * FROM calls" + where + " ORDER BY start_ns, id", params
+        ).fetchall()
+        return CallColumns.from_rows(rows)
+
+    def durations_ns(
+        self,
+        kind: Optional[str] = None,
+        name: Optional[str] = None,
+        enclave_id: Optional[int] = None,
+    ) -> np.ndarray:
+        """Measured durations straight from SQL, ``(start_ns, id)``-ordered."""
+        self._ensure_read()
+        where, params = self._call_filter(kind, name, enclave_id)
+        rows = self._conn.execute(
+            "SELECT end_ns - start_ns FROM calls" + where + " ORDER BY start_ns, id",
+            params,
+        ).fetchall()
+        return np.fromiter((r[0] for r in rows), dtype=np.int64, count=len(rows))
+
+    def starts_ns(
+        self,
+        kind: Optional[str] = None,
+        name: Optional[str] = None,
+        enclave_id: Optional[int] = None,
+    ) -> np.ndarray:
+        """Start timestamps straight from SQL, ``(start_ns, id)``-ordered."""
+        self._ensure_read()
+        where, params = self._call_filter(kind, name, enclave_id)
+        rows = self._conn.execute(
+            "SELECT start_ns FROM calls" + where + " ORDER BY start_ns, id", params
+        ).fetchall()
+        return np.fromiter((r[0] for r in rows), dtype=np.int64, count=len(rows))
+
+    def call_summary(self) -> list[CallSummary]:
+        """Per-(kind, name) aggregates grouped in SQL, busiest first."""
+        self._ensure_read()
+        rows = self._conn.execute(
+            "SELECT kind, name, COUNT(*), SUM(end_ns - start_ns),"
+            " MIN(end_ns - start_ns), MAX(end_ns - start_ns)"
+            " FROM calls GROUP BY kind, name"
+            " ORDER BY SUM(end_ns - start_ns) DESC, kind, name"
+        ).fetchall()
+        return [CallSummary(*r) for r in rows]
 
     def aex_events(self) -> list[AexEvent]:
         """Load all traced AEX events."""
-        self.flush()
+        self._ensure_read()
         rows = self._conn.execute("SELECT * FROM aex ORDER BY ts_ns").fetchall()
         return [AexEvent(*r) for r in rows]
 
     def paging_events(self) -> list[PagingRecord]:
         """Load all paging events."""
-        self.flush()
+        self._ensure_read()
         rows = self._conn.execute("SELECT * FROM paging ORDER BY ts_ns").fetchall()
         return [PagingRecord(*r) for r in rows]
 
     def sync_events(self) -> list[SyncEvent]:
         """Load all sync sleep/wake events."""
-        self.flush()
+        self._ensure_read()
         rows = self._conn.execute("SELECT * FROM sync ORDER BY ts_ns").fetchall()
         return [
             SyncEvent(
@@ -295,17 +459,21 @@ class TraceDatabase:
 
     def threads(self) -> list[ThreadRecord]:
         """Load observed threads."""
-        self.flush()
+        self._ensure_read()
         rows = self._conn.execute("SELECT * FROM threads ORDER BY thread_id").fetchall()
         return [ThreadRecord(*r) for r in rows]
 
     def enclaves(self) -> list[EnclaveRecord]:
         """Load enclave records."""
-        self.flush()
+        self._ensure_read()
         rows = self._conn.execute("SELECT * FROM enclaves ORDER BY enclave_id").fetchall()
         return [EnclaveRecord(*r) for r in rows]
 
     def execute(self, sql: str, params: Iterable = ()) -> list[tuple]:
-        """Run raw SQL against the trace — the 'other tools' escape hatch."""
+        """Run raw SQL against the trace — the 'other tools' escape hatch.
+
+        Flushes buffered rows but does not force the deferred read indexes;
+        ad-hoc SQL decides for itself what it needs.
+        """
         self.flush()
         return self._conn.execute(sql, tuple(params)).fetchall()

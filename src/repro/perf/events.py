@@ -14,7 +14,7 @@ when comparing against the transition cost.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 ECALL = "ecall"
@@ -41,6 +41,39 @@ class CallEvent:
     def duration_ns(self) -> int:
         """Wall (virtual) duration as the logger measured it."""
         return self.end_ns - self.start_ns
+
+    def to_row(self) -> tuple:
+        """Flat tuple in ``calls`` table schema order (the writer format)."""
+        return (
+            self.event_id,
+            self.kind,
+            self.name,
+            self.call_index,
+            self.enclave_id,
+            self.thread_id,
+            self.start_ns,
+            self.end_ns,
+            self.aex_count,
+            self.parent_id,
+            1 if self.is_sync else 0,
+        )
+
+    @classmethod
+    def from_row(cls, row: tuple) -> "CallEvent":
+        """Inflate one ``calls`` table row (the reader direction)."""
+        return cls(
+            event_id=row[0],
+            kind=row[1],
+            name=row[2],
+            call_index=row[3],
+            enclave_id=row[4],
+            thread_id=row[5],
+            start_ns=row[6],
+            end_ns=row[7],
+            aex_count=row[8],
+            parent_id=row[9],
+            is_sync=bool(row[10]),
+        )
 
 
 class SyncKind(enum.Enum):

@@ -1,0 +1,210 @@
+"""The seed's event-object-per-call recording path, kept as a reference.
+
+:class:`LegacyEventLogger` preserves the original implementation exactly:
+one :class:`~repro.perf.events.CallEvent` dataclass per call, handed to
+``TraceDatabase.add_call`` one row at a time, with ``resolve_next`` and the
+thread-id bookkeeping on every call.  Virtual-time charges are identical to
+:class:`~repro.perf.logger.EventLogger` — only the wall-clock recording
+cost differs — which is what makes it useful:
+
+* the determinism regression test records the same workload through both
+  paths and asserts identical table contents;
+* the record-throughput benchmark uses it as the seed baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.perf.events import (
+    AexEvent,
+    CallEvent,
+    ECALL,
+    OCALL,
+    PagingRecord,
+    SyncEvent,
+    SyncKind,
+    ThreadRecord,
+)
+from repro.perf.logger import (
+    AEX_COUNT_NS,
+    AEX_TRACE_NS,
+    ECALL_LOG_POST_NS,
+    ECALL_LOG_PRE_NS,
+    OCALL_LOG_POST_NS,
+    OCALL_LOG_PRE_NS,
+    AexMode,
+    EventLogger,
+)
+from repro.sdk.edger8r import (
+    SYNC_OCALL_NAMES,
+    SYNC_OCALL_SET,
+    SYNC_OCALL_SET_MULTIPLE,
+    SYNC_OCALL_SETWAIT,
+    SYNC_OCALL_WAIT,
+)
+from repro.sgx.events import AexInfo
+
+
+class LegacyEventLogger(EventLogger):
+    """Seed recording path: dataclass per event, row-at-a-time writes."""
+
+    def flush(self) -> None:
+        # Events were written through ``db.add_call`` as they completed;
+        # only the database's own buffers remain.
+        self.db.flush()
+
+    def _next_id(self) -> int:
+        self._event_seq += 1
+        return self._event_seq
+
+    def _tid(self) -> int:
+        thread = self.sim.current_thread
+        tid = thread.tid if thread is not None else 0
+        if tid not in self._seen_threads:
+            self._seen_threads.add(tid)
+            name = thread.name if thread is not None else "main"
+            self.db.add_thread(ThreadRecord(tid, name, self.sim.now_ns))
+        return tid
+
+    def _stack(self, tid: int) -> list:
+        stack = self._open_calls.get(tid)
+        if stack is None:
+            stack = []
+            self._open_calls[tid] = stack
+        return stack
+
+    # -- sgx_ecall shadow -----------------------------------------------------
+
+    def _shadow_sgx_ecall(
+        self, enclave_id: int, index: int, ocall_table: Any, args: tuple
+    ):
+        self.sim.compute(ECALL_LOG_PRE_NS)
+        stub_table = self._stub_table_for(ocall_table)
+        tid = self._tid()
+        stack = self._stack(tid)
+        event = CallEvent(
+            event_id=self._next_id(),
+            kind=ECALL,
+            name=self._legacy_ecall_name(enclave_id, index),
+            call_index=index,
+            enclave_id=enclave_id,
+            thread_id=tid,
+            start_ns=self.sim.now_ns,
+            parent_id=stack[-1].event_id if stack else None,
+        )
+        stack.append(event)
+        real_sgx_ecall = self.process.loader.resolve_next("sgx_ecall", self.library)
+        try:
+            return real_sgx_ecall(enclave_id, index, stub_table, args)
+        finally:
+            stack.pop()
+            event.end_ns = self.sim.now_ns
+            self.db.add_call(event)
+            self.sim.compute(ECALL_LOG_POST_NS)
+
+    def _legacy_ecall_name(self, enclave_id: int, index: int) -> str:
+        runtime = self.urts.runtimes().get(enclave_id)
+        if runtime is not None and 0 <= index < len(runtime.definition.ecalls):
+            return runtime.definition.ecalls[index].name
+        return f"ecall#{index}"
+
+    # -- ocall stubs ----------------------------------------------------------
+
+    def _make_stub(self, index: int, name: str, original_fn: Callable) -> Callable:
+        is_sync = name in SYNC_OCALL_NAMES
+
+        def stub(*args: Any) -> Any:
+            self.sim.compute(OCALL_LOG_PRE_NS)
+            tid = self._tid()
+            stack = self._stack(tid)
+            event = CallEvent(
+                event_id=self._next_id(),
+                kind=OCALL,
+                name=name,
+                call_index=index,
+                enclave_id=stack[-1].enclave_id if stack else 0,
+                thread_id=tid,
+                start_ns=self.sim.now_ns,
+                parent_id=stack[-1].event_id if stack else None,
+                is_sync=is_sync,
+            )
+            if is_sync:
+                self._legacy_record_sync(event, name, args)
+            stack.append(event)
+            try:
+                return original_fn(*args)
+            finally:
+                stack.pop()
+                event.end_ns = self.sim.now_ns
+                self.db.add_call(event)
+                self.sim.compute(OCALL_LOG_POST_NS)
+
+        stub.__name__ = f"sgxperf_stub_{name}"
+        return stub
+
+    # -- sync events ----------------------------------------------------------
+
+    def _legacy_record_sync(self, call: CallEvent, name: str, args: tuple) -> None:
+        now = self.sim.now_ns
+        if name == SYNC_OCALL_WAIT:
+            events = [(SyncKind.SLEEP, (args[0],))]
+        elif name == SYNC_OCALL_SET:
+            events = [(SyncKind.WAKE, (args[0],))]
+        elif name == SYNC_OCALL_SET_MULTIPLE:
+            events = [(SyncKind.WAKE, tuple(args[0]))]
+        elif name == SYNC_OCALL_SETWAIT:
+            events = [(SyncKind.WAKE, (args[0],)), (SyncKind.SLEEP, (args[1],))]
+        else:  # pragma: no cover - guarded by caller
+            return
+        for kind, targets in events:
+            self.db.add_sync(
+                SyncEvent(
+                    event_id=self._next_id(),
+                    timestamp_ns=now,
+                    thread_id=call.thread_id,
+                    kind=kind,
+                    call_id=call.event_id,
+                    targets=targets,
+                )
+            )
+
+    # -- AEX hook -------------------------------------------------------------
+
+    def _aep_hook(self, info: AexInfo) -> None:
+        if self.aex_mode is AexMode.COUNT:
+            self.sim.compute(AEX_COUNT_NS)
+        else:
+            self.sim.compute(AEX_TRACE_NS)
+        tid = self._tid()
+        stack = self._stack(tid)
+        open_ecall: Optional[CallEvent] = None
+        for event in reversed(stack):
+            if event.kind == ECALL:
+                open_ecall = event
+                break
+        if open_ecall is not None:
+            open_ecall.aex_count += 1
+        if self.aex_mode is AexMode.TRACE:
+            self.db.add_aex(
+                AexEvent(
+                    event_id=self._next_id(),
+                    timestamp_ns=info.timestamp_ns,
+                    enclave_id=info.enclave_id,
+                    thread_id=tid,
+                    call_id=open_ecall.event_id if open_ecall else None,
+                )
+            )
+
+    # -- paging kprobes -------------------------------------------------------
+
+    def _kprobe_paging(self, ts_ns: int, enclave_id: int, vaddr: int, direction: str) -> None:
+        self.db.add_paging(
+            PagingRecord(
+                event_id=self._next_id(),
+                timestamp_ns=ts_ns,
+                enclave_id=enclave_id,
+                vaddr=vaddr,
+                direction=direction,
+            )
+        )

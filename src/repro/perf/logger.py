@@ -21,6 +21,15 @@ Figure 2).  Without touching application, enclave or SDK it:
 Logging overheads are charged in virtual time and calibrated to Table 2:
 ≈1,367 ns per ecall, ≈1,319 ns per ocall, ≈1,076 ns per counted AEX and
 ≈1,118 ns per traced AEX.
+
+Recording fast path (paper §4.1, Table 2): the hot path appends **flat
+tuples to per-thread append-only buffers** — no per-event dataclass, no
+per-event SQL.  Buffers are drained into the :class:`TraceDatabase` in
+batches (at a threshold and at :meth:`EventLogger.flush`/
+:meth:`~EventLogger.finalize`), merged back into event-id order.
+:class:`~repro.perf.events.CallEvent` is a *reader-side* type only; the
+seed's event-object-per-call implementation survives as
+:class:`repro.perf.legacy.LegacyEventLogger` for comparisons.
 """
 
 from __future__ import annotations
@@ -29,17 +38,7 @@ import enum
 from typing import Any, Callable, Optional, Union
 
 from repro.perf.database import TraceDatabase
-from repro.perf.events import (
-    AexEvent,
-    CallEvent,
-    ECALL,
-    EnclaveRecord,
-    OCALL,
-    PagingRecord,
-    SyncEvent,
-    SyncKind,
-    ThreadRecord,
-)
+from repro.perf.events import ECALL, OCALL, EnclaveRecord, SyncKind, ThreadRecord
 from repro.sdk.edger8r import (
     SYNC_OCALL_NAMES,
     SYNC_OCALL_SET,
@@ -61,6 +60,21 @@ OCALL_LOG_POST_NS = 639  # total 1,319 per ocall
 AEX_COUNT_NS = 1_076
 AEX_TRACE_NS = 1_118
 STUB_CREATE_NS = 450  # one-time, per generated ocall stub
+
+# Completed rows buffered across all per-thread buffers before a drain.
+# sgx-perf keeps events in memory until teardown (§4.1); the threshold
+# only bounds memory on very long runs, so it is deliberately generous —
+# serialisation should stay off the recording critical path.
+DRAIN_THRESHOLD = 65_536
+
+# Open-call frame layout: a small mutable list per in-flight call.  Only
+# what outlives the call's own stack frame lives here — identity for
+# parent links, the enclave for ocall attribution, the kind for AEX
+# attribution, and the AEX counter the AEP hook increments.
+_F_ID = 0
+_F_ENCLAVE = 1
+_F_IS_ECALL = 2
+_F_AEX = 3
 
 
 class AexMode(enum.Enum):
@@ -105,10 +119,28 @@ class EventLogger:
         self.aex_mode = aex_mode
         self.trace_paging = trace_paging
         self.library = Library("libsgxperf.so")
+        self._clock = self.sim.clock
         self._event_seq = 0
         self._stub_tables: dict[int, _LoggerOcallTable] = {}
-        self._open_calls: dict[int, list[CallEvent]] = {}
+        # Per-thread state: open-call frame stacks and completed-row buffers.
+        self._open_calls: dict[int, list[list]] = {}
+        self._buffers: dict[int, list[tuple]] = {}
+        self._aex_rows: list[tuple] = []
+        self._paging_rows: list[tuple] = []
+        self._sync_rows: list[tuple] = []
+        self._pending = 0
         self._seen_threads: set[int] = set()
+        # Identity cache for the hot path: one `is` check replaces a tid
+        # lookup plus two dict probes (stack, buffer).  The cached list
+        # objects stay valid because drains clear buffers in place.
+        self._last_thread: Any = self  # sentinel that never equals a thread
+        self._last_tid = 0
+        self._last_stack: list[list] = []
+        self._last_buffer: list[tuple] = []
+        self._last_table: Any = self  # sentinel, likewise
+        self._last_stub_table: Optional[_LoggerOcallTable] = None
+        self._ecall_names: dict[tuple[int, int], str] = {}
+        self._real_sgx_ecall: Optional[Callable] = None
         self._wrapped_handlers = 0
         self._installed = False
 
@@ -123,6 +155,9 @@ class EventLogger:
         self.library.define("signal", self._shadow_signal)
         self.library.define("sigaction", self._shadow_sigaction)
         self.process.loader.preload(self.library)
+        # The next sgx_ecall in search order is stable while preloaded;
+        # resolve it once instead of per call.
+        self._real_sgx_ecall = self.process.loader.resolve_next("sgx_ecall", self.library)
         if self.aex_mode is not AexMode.OFF:
             self.urts.patch_aep(self._aep_hook)
         if self.trace_paging:
@@ -136,6 +171,7 @@ class EventLogger:
         if not self._installed:
             return
         self.process.loader.unload(self.library)
+        self._real_sgx_ecall = None
         if self.aex_mode is not AexMode.OFF:
             self.urts.patch_aep(None)
         if self.trace_paging:
@@ -144,9 +180,33 @@ class EventLogger:
             driver.detach_kprobe(KPROBE_ELDU, self._kprobe_paging)
         self._installed = False
 
+    def flush(self) -> None:
+        """Drain the per-thread buffers into the database, in event-id order."""
+        db = self.db
+        merged: list[tuple] = []
+        for buf in self._buffers.values():
+            if buf:
+                merged.extend(buf)
+                buf.clear()
+        if merged:
+            if len(merged) > 1:
+                merged.sort()  # event ids are unique → sorts by id
+            db.add_call_rows(merged)
+        if self._aex_rows:
+            db.add_aex_rows(self._aex_rows)
+            self._aex_rows.clear()
+        if self._paging_rows:
+            db.add_paging_rows(self._paging_rows)
+            self._paging_rows.clear()
+        if self._sync_rows:
+            db.add_sync_rows(self._sync_rows)
+            self._sync_rows.clear()
+        self._pending = 0
+
     def finalize(self) -> TraceDatabase:
         """Write static records and trace metadata; returns the database."""
-        for runtime in self.urts._runtimes.values():
+        self.flush()
+        for runtime in self.urts.runtimes().values():
             enclave = runtime.enclave
             self.db.add_enclave(
                 EnclaveRecord(
@@ -176,62 +236,95 @@ class EventLogger:
 
     # -- helpers --------------------------------------------------------------------
 
-    def _next_id(self) -> int:
-        self._event_seq += 1
-        return self._event_seq
-
     def _tid(self) -> int:
         thread = self.sim.current_thread
+        if thread is self._last_thread:
+            return self._last_tid
+        return self._thread_state(thread)[0]
+
+    def _thread_state(self, thread: Any) -> tuple[int, list, list]:
+        """Resolve (tid, open-call stack, buffer) and refresh the cache."""
         tid = thread.tid if thread is not None else 0
         if tid not in self._seen_threads:
             self._seen_threads.add(tid)
             name = thread.name if thread is not None else "main"
-            self.db.add_thread(ThreadRecord(tid, name, self.sim.now_ns))
-        return tid
-
-    def _stack(self, tid: int) -> list[CallEvent]:
+            self.db.add_thread(ThreadRecord(tid, name, self._clock.now_ns))
         stack = self._open_calls.get(tid)
         if stack is None:
-            stack = []
-            self._open_calls[tid] = stack
-        return stack
+            stack = self._open_calls[tid] = []
+        buf = self._buffers.get(tid)
+        if buf is None:
+            buf = self._buffers[tid] = []
+        self._last_thread = thread
+        self._last_tid = tid
+        self._last_stack = stack
+        self._last_buffer = buf
+        return tid, stack, buf
 
     # -- sgx_ecall shadow (§4.1.1) -----------------------------------------------------
 
     def _shadow_sgx_ecall(
         self, enclave_id: int, index: int, ocall_table: Any, args: tuple
     ):
-        self.sim.compute(ECALL_LOG_PRE_NS)
-        stub_table = self._stub_table_for(ocall_table)
-        tid = self._tid()
-        stack = self._stack(tid)
-        event = CallEvent(
-            event_id=self._next_id(),
-            kind=ECALL,
-            name=self._ecall_name(enclave_id, index),
-            call_index=index,
-            enclave_id=enclave_id,
-            thread_id=tid,
-            start_ns=self.sim.now_ns,
-            parent_id=stack[-1].event_id if stack else None,
-        )
-        stack.append(event)
-        real_sgx_ecall = self.process.loader.resolve_next("sgx_ecall", self.library)
+        sim = self.sim
+        clock = self._clock
+        sim.compute(ECALL_LOG_PRE_NS)
+        if ocall_table is self._last_table:
+            stub_table = self._last_stub_table
+        else:
+            stub_table = self._stub_table_for(ocall_table)
+            self._last_table = ocall_table
+            self._last_stub_table = stub_table
+        thread = sim._current  # attribute, not property: per-event hot path
+        if thread is self._last_thread:
+            tid = self._last_tid
+            stack = self._last_stack
+            buf = self._last_buffer
+        else:
+            tid, stack, buf = self._thread_state(thread)
+        event_id = self._event_seq = self._event_seq + 1
+        name = self._ecall_names.get((enclave_id, index))
+        if name is None:
+            name = self._ecall_name(enclave_id, index)
+        parent_id = stack[-1][_F_ID] if stack else None
+        start_ns = clock.now_ns
+        frame = [event_id, enclave_id, True, 0]
+        stack.append(frame)
         try:
             # The stub table is passed in place of the original on *every*
             # ecall — the logger cannot know beforehand whether the ecall
             # will issue ocalls (§4.1.2).
-            return real_sgx_ecall(enclave_id, index, stub_table, args)
+            return self._real_sgx_ecall(enclave_id, index, stub_table, args)
         finally:
-            stack.pop()
-            event.end_ns = self.sim.now_ns
-            self.db.add_call(event)
-            self.sim.compute(ECALL_LOG_POST_NS)
+            # `stack`/`buf` are the entry thread's — a call returns on the
+            # thread it started on, even if others ran in between.
+            del stack[-1]
+            buf.append(
+                (
+                    event_id,
+                    ECALL,
+                    name,
+                    index,
+                    enclave_id,
+                    tid,
+                    start_ns,
+                    clock.now_ns,
+                    frame[_F_AEX],
+                    parent_id,
+                    0,
+                )
+            )
+            self._pending += 1
+            if self._pending >= DRAIN_THRESHOLD:
+                self.flush()
+            sim.compute(ECALL_LOG_POST_NS)
 
     def _ecall_name(self, enclave_id: int, index: int) -> str:
-        runtime = self.urts._runtimes.get(enclave_id)
+        runtime = self.urts.runtimes().get(enclave_id)
         if runtime is not None and 0 <= index < len(runtime.definition.ecalls):
-            return runtime.definition.ecalls[index].name
+            name = runtime.definition.ecalls[index].name
+            self._ecall_names[(enclave_id, index)] = name
+            return name
         return f"ecall#{index}"
 
     # -- ocall stubs (§4.1.2, Figure 3) ---------------------------------------------------
@@ -253,40 +346,67 @@ class EventLogger:
 
     def _make_stub(self, index: int, name: str, original_fn: Callable) -> Callable:
         is_sync = name in SYNC_OCALL_NAMES
+        sim = self.sim
+        compute = sim.compute
+        clock = self._clock
+        thread_state = self._thread_state
+        record_sync = self._record_sync
 
         def stub(*args: Any) -> Any:
-            self.sim.compute(OCALL_LOG_PRE_NS)
-            tid = self._tid()
-            stack = self._stack(tid)
-            event = CallEvent(
-                event_id=self._next_id(),
-                kind=OCALL,
-                name=name,
-                call_index=index,
-                enclave_id=stack[-1].enclave_id if stack else 0,
-                thread_id=tid,
-                start_ns=self.sim.now_ns,
-                parent_id=stack[-1].event_id if stack else None,
-                is_sync=is_sync,
-            )
+            compute(OCALL_LOG_PRE_NS)
+            thread = sim._current  # attribute, not property: hot path
+            if thread is self._last_thread:
+                tid = self._last_tid
+                stack = self._last_stack
+                buf = self._last_buffer
+            else:
+                tid, stack, buf = thread_state(thread)
+            event_id = self._event_seq = self._event_seq + 1
+            if stack:
+                top = stack[-1]
+                parent_id = top[_F_ID]
+                enclave_id = top[_F_ENCLAVE]
+            else:
+                parent_id = None
+                enclave_id = 0
+            start_ns = clock.now_ns
             if is_sync:
-                self._record_sync(event, name, args)
-            stack.append(event)
+                record_sync(event_id, tid, start_ns, name, args)
+            frame = [event_id, enclave_id, False, 0]
+            stack.append(frame)
             try:
                 return original_fn(*args)
             finally:
-                stack.pop()
-                event.end_ns = self.sim.now_ns
-                self.db.add_call(event)
-                self.sim.compute(OCALL_LOG_POST_NS)
+                # Entry thread's stack/buffer — see _shadow_sgx_ecall.
+                del stack[-1]
+                buf.append(
+                    (
+                        event_id,
+                        OCALL,
+                        name,
+                        index,
+                        enclave_id,
+                        tid,
+                        start_ns,
+                        clock.now_ns,
+                        frame[_F_AEX],
+                        parent_id,
+                        1 if is_sync else 0,
+                    )
+                )
+                self._pending += 1
+                if self._pending >= DRAIN_THRESHOLD:
+                    self.flush()
+                compute(OCALL_LOG_POST_NS)
 
         stub.__name__ = f"sgxperf_stub_{name}"
         return stub
 
     # -- sync events (§4.1.3) ----------------------------------------------------------
 
-    def _record_sync(self, call: CallEvent, name: str, args: tuple) -> None:
-        now = self.sim.now_ns
+    def _record_sync(
+        self, call_id: int, tid: int, now_ns: int, name: str, args: tuple
+    ) -> None:
         if name == SYNC_OCALL_WAIT:
             events = [(SyncKind.SLEEP, (args[0],))]
         elif name == SYNC_OCALL_SET:
@@ -297,17 +417,22 @@ class EventLogger:
             events = [(SyncKind.WAKE, (args[0],)), (SyncKind.SLEEP, (args[1],))]
         else:  # pragma: no cover - guarded by caller
             return
+        rows = self._sync_rows
         for kind, targets in events:
-            self.db.add_sync(
-                SyncEvent(
-                    event_id=self._next_id(),
-                    timestamp_ns=now,
-                    thread_id=call.thread_id,
-                    kind=kind,
-                    call_id=call.event_id,
-                    targets=targets,
+            event_id = self._event_seq = self._event_seq + 1
+            rows.append(
+                (
+                    event_id,
+                    now_ns,
+                    tid,
+                    kind.value,
+                    call_id,
+                    ",".join(str(t) for t in targets),
                 )
             )
+            self._pending += 1
+        if self._pending >= DRAIN_THRESHOLD:
+            self.flush()
 
     # -- AEX hook (§4.1.4) ----------------------------------------------------------------
 
@@ -317,44 +442,45 @@ class EventLogger:
         else:
             self.sim.compute(AEX_TRACE_NS)
         tid = self._tid()
-        stack = self._stack(tid)
-        open_ecall: Optional[CallEvent] = None
-        for event in reversed(stack):
-            if event.kind == ECALL:
-                open_ecall = event
-                break
+        stack = self._open_calls.get(tid)
+        open_ecall: Optional[list] = None
+        if stack:
+            for frame in reversed(stack):
+                if frame[_F_IS_ECALL]:
+                    open_ecall = frame
+                    break
         if open_ecall is not None:
-            open_ecall.aex_count += 1
+            open_ecall[_F_AEX] += 1
         if self.aex_mode is AexMode.TRACE:
-            self.db.add_aex(
-                AexEvent(
-                    event_id=self._next_id(),
-                    timestamp_ns=info.timestamp_ns,
-                    enclave_id=info.enclave_id,
-                    thread_id=tid,
-                    call_id=open_ecall.event_id if open_ecall else None,
+            event_id = self._event_seq = self._event_seq + 1
+            self._aex_rows.append(
+                (
+                    event_id,
+                    info.timestamp_ns,
+                    info.enclave_id,
+                    tid,
+                    open_ecall[_F_ID] if open_ecall is not None else None,
                 )
             )
+            self._pending += 1
+            if self._pending >= DRAIN_THRESHOLD:
+                self.flush()
 
     # -- paging kprobes (§4.1.5) --------------------------------------------------------------
 
     def _kprobe_paging(self, ts_ns: int, enclave_id: int, vaddr: int, direction: str) -> None:
-        self.db.add_paging(
-            PagingRecord(
-                event_id=self._next_id(),
-                timestamp_ns=ts_ns,
-                enclave_id=enclave_id,
-                vaddr=vaddr,
-                direction=direction,
-            )
-        )
+        event_id = self._event_seq = self._event_seq + 1
+        self._paging_rows.append((event_id, ts_ns, enclave_id, vaddr, direction))
+        self._pending += 1
+        if self._pending >= DRAIN_THRESHOLD:
+            self.flush()
 
     # -- libc shadows ------------------------------------------------------------------------------
 
     def _shadow_pthread_create(self, target: Callable, *args: Any, name: Optional[str] = None):
         real = self.process.loader.resolve_next("pthread_create", self.library)
         thread = real(target, *args, name=name)
-        self.db.add_thread(ThreadRecord(thread.tid, thread.name, self.sim.now_ns))
+        self.db.add_thread(ThreadRecord(thread.tid, thread.name, self._clock.now_ns))
         return thread
 
     def _shadow_signal(self, signum: int, handler: Optional[Callable]):
@@ -390,3 +516,8 @@ class EventLogger:
     def events_recorded(self) -> int:
         """Total number of event ids handed out so far."""
         return self._event_seq
+
+    @property
+    def events_buffered(self) -> int:
+        """Completed rows waiting in per-thread buffers for the next drain."""
+        return self._pending

@@ -122,6 +122,14 @@ class Urts:
         self.device.driver.destroy_enclave(runtime.enclave)
         self.process.enclaves.pop(enclave_id, None)
 
+    def runtimes(self) -> dict[int, EnclaveRuntime]:
+        """All live enclave runtimes, keyed by enclave id.
+
+        The returned mapping is the URTS's own bookkeeping — treat it as
+        read-only.
+        """
+        return self._runtimes
+
     def runtime(self, enclave_id: int) -> EnclaveRuntime:
         """The runtime bookkeeping for ``enclave_id``."""
         try:

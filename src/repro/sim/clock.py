@@ -16,20 +16,19 @@ class VirtualClock:
     The clock only moves when :meth:`advance` is called.  It is owned by a
     :class:`repro.sim.kernel.Simulation`, which advances it as simulated
     threads consume compute time.
+
+    ``now_ns`` is a plain slot attribute: reading the clock is on the
+    logger's per-event hot path, so it must not cost a property descriptor
+    call.  Treat it as read-only outside this class.
     """
 
-    __slots__ = ("_now_ns", "_frequency_ghz")
+    __slots__ = ("now_ns", "_frequency_ghz")
 
     def __init__(self, frequency_ghz: float = DEFAULT_FREQUENCY_GHZ) -> None:
         if frequency_ghz <= 0:
             raise ValueError("frequency must be positive")
-        self._now_ns = 0
+        self.now_ns = 0
         self._frequency_ghz = frequency_ghz
-
-    @property
-    def now_ns(self) -> int:
-        """Current virtual time in nanoseconds since simulation start."""
-        return self._now_ns
 
     @property
     def frequency_ghz(self) -> float:
@@ -40,14 +39,14 @@ class VirtualClock:
         """Move time forward by ``duration_ns`` and return the new time."""
         if duration_ns < 0:
             raise ValueError(f"cannot advance time by {duration_ns} ns")
-        self._now_ns += int(duration_ns)
-        return self._now_ns
+        self.now_ns += int(duration_ns)
+        return self.now_ns
 
     def advance_to(self, deadline_ns: int) -> int:
         """Move time forward to ``deadline_ns`` (no-op if already past it)."""
-        if deadline_ns > self._now_ns:
-            self._now_ns = int(deadline_ns)
-        return self._now_ns
+        if deadline_ns > self.now_ns:
+            self.now_ns = int(deadline_ns)
+        return self.now_ns
 
     def cycles_to_ns(self, cycles: float) -> int:
         """Convert a cycle count to nanoseconds at the modelled frequency."""
@@ -58,4 +57,4 @@ class VirtualClock:
         return int(round(duration_ns * self._frequency_ghz))
 
     def __repr__(self) -> str:
-        return f"VirtualClock(now={self._now_ns} ns @ {self._frequency_ghz} GHz)"
+        return f"VirtualClock(now={self.now_ns} ns @ {self._frequency_ghz} GHz)"

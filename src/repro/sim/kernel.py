@@ -268,23 +268,29 @@ class Simulation:
 
         If another runnable thread would start before this slice finishes,
         the turn is handed over so interleavings stay time-ordered;
-        otherwise the clock simply advances (fast path).
+        otherwise the clock simply advances (fast path).  This is the
+        logger's per-event hot path, so the clock is touched through one
+        cached local and advanced in place.
         """
         if duration_ns < 0:
             raise ValueError("negative compute duration")
+        clock = self.clock
         current = self._current
-        deadline = self.clock.now_ns + int(duration_ns)
+        deadline = clock.now_ns + int(duration_ns)
         if current is None:
             # Inline (schedulerless) mode.
-            self.clock.advance_to(deadline)
+            if deadline > clock.now_ns:
+                clock.now_ns = deadline
             return
         current.wake_time = deadline
-        current.seq = self._next_seq()
+        self._seq = seq = self._seq + 1
+        current.seq = seq
         current.state = _RUNNABLE
         nxt = self._pick_next()
         if nxt is current:
             current.state = _RUNNING
-            self.clock.advance_to(deadline)
+            if deadline > clock.now_ns:
+                clock.now_ns = deadline
             return
         self._yield_turn(current)
         current.state = _RUNNING

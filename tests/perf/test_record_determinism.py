@@ -1,0 +1,121 @@
+"""Determinism regression: seed recording path vs the buffered fast path.
+
+The buffered logger must be a pure wall-clock optimisation — the same
+workload recorded through :class:`LegacyEventLogger` (dataclass per event,
+row-at-a-time writes) and :class:`EventLogger` (per-thread flat-tuple
+buffers, batched drains) must produce **identical** ``calls``/``sync``/
+``aex``/``paging`` table contents: same rows, same ordering keys.  Partial
+mid-run drains must not reorder or drop anything either.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.database import TraceDatabase
+from repro.perf.legacy import LegacyEventLogger
+from repro.perf.logger import AexMode, EventLogger
+from repro.sdk.edger8r import build_enclave
+from repro.sdk.urts import Urts
+from repro.sgx.device import SgxDevice
+from repro.sgx.enclave import EnclaveConfig
+from repro.sgx.epc import Epc
+from repro.sim.process import SimProcess
+
+from tests.conftest import SIMPLE_EDL, make_simple_impls
+
+TABLES = ("calls", "aex", "paging", "sync", "threads", "enclaves")
+
+
+def _record(logger_cls, seed: int = 11, db: TraceDatabase = None):
+    """Run one mixed workload (ecalls, nested ocalls, AEX, paging, sync)."""
+    process = SimProcess(seed=seed)
+    device = SgxDevice(
+        process.sim, timer_period_ns=100_000, epc=Epc(capacity_pages=192)
+    )
+    urts = Urts(process, device)
+    trusted, untrusted = make_simple_impls()
+
+    def ecall_lock_or_touch(ctx, ns):
+        if ns < 0:  # EPC-thrashing mode
+            buf = ctx.malloc(240 * 1024)
+            ctx.touch(buf, write=True)
+            ctx.free(buf)
+            return 0
+        mutex = ctx.mutex("m")
+        mutex.lock(ctx)
+        ctx.compute(int(ns))
+        mutex.unlock(ctx)
+        return 0
+
+    trusted["ecall_compute"] = ecall_lock_or_touch
+    handle = build_enclave(
+        urts,
+        SIMPLE_EDL,
+        trusted,
+        untrusted,
+        config=EnclaveConfig(heap_bytes=256 * 1024, code_bytes=128 * 1024, tcs_count=4),
+    )
+    logger = logger_cls(
+        process, urts, database=db or TraceDatabase(), aex_mode=AexMode.TRACE
+    )
+    logger.install()
+    # Single-thread phase: plain ecalls, nested ocalls, a long AEX-heavy
+    # call and an EPC-thrashing call.
+    for i in range(6):
+        handle.ecall("ecall_add", i, i + 1)
+        handle.ecall("ecall_with_ocall")
+    handle.ecall("ecall_compute", 400_000)
+    handle.ecall("ecall_compute", -1)
+
+    # Multi-thread phase: mutex contention produces the four sync ocalls.
+    def worker():
+        for _ in range(4):
+            handle.ecall("ecall_compute", 8_000)
+
+    for i in range(3):
+        process.sim.spawn(worker, name=f"w{i}")
+    process.sim.run()
+    logger.uninstall()
+    return logger.finalize()
+
+
+def _dump(db: TraceDatabase) -> dict[str, list[tuple]]:
+    return {t: db.execute(f"SELECT * FROM {t} ORDER BY 1") for t in TABLES}
+
+
+@pytest.fixture(scope="module")
+def legacy_dump():
+    return _dump(_record(LegacyEventLogger))
+
+
+def test_tables_nonempty(legacy_dump):
+    """The workload must exercise every event source to be a real oracle."""
+    for table in ("calls", "aex", "paging", "sync"):
+        assert legacy_dump[table], f"workload produced no {table} rows"
+
+
+def test_buffered_path_matches_legacy(legacy_dump):
+    assert _dump(_record(EventLogger)) == legacy_dump
+
+
+def test_partial_drains_do_not_reorder(legacy_dump, monkeypatch):
+    """Tiny thresholds force many mid-run drains of both buffer layers."""
+    monkeypatch.setattr("repro.perf.logger.DRAIN_THRESHOLD", 8)
+    db = TraceDatabase(flush_threshold=4)
+    assert _dump(_record(EventLogger, db=db)) == legacy_dump
+
+
+def test_untuned_eager_index_database_matches(legacy_dump):
+    """Pragmas and deferred indexes change speed, never contents."""
+    db = TraceDatabase(tuned=False, defer_indexes=False)
+    assert _dump(_record(EventLogger, db=db)) == legacy_dump
+
+
+def test_virtual_time_identical():
+    """Both paths charge identical virtual time — Table 2 stays calibrated."""
+    legacy = _record(LegacyEventLogger)
+    buffered = _record(EventLogger)
+    legacy_end = legacy.execute("SELECT MAX(end_ns) FROM calls")[0][0]
+    buffered_end = buffered.execute("SELECT MAX(end_ns) FROM calls")[0][0]
+    assert legacy_end == buffered_end
