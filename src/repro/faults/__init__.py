@@ -1,0 +1,39 @@
+"""Deterministic fault injection for the SGX model (``repro.faults``).
+
+Seeded, virtual-clock-scheduled fault campaigns: enclave loss, transient
+EPC faults, ocall exceptions/delays, and TCS exhaustion — plus the
+recovery machinery they exercise (:class:`repro.sdk.resilience.ResilientEnclave`,
+trace salvage in :mod:`repro.perf`).
+"""
+
+from repro.faults.injector import (
+    INJECT_EPC,
+    INJECT_LOSS,
+    INJECT_OCALL_DELAY,
+    INJECT_OCALL_ERROR,
+    INJECT_TCS,
+    FaultInjector,
+    InjectedFault,
+)
+from repro.faults.plan import (
+    EnclaveLossPlan,
+    FaultPlan,
+    OcallFaultPlan,
+    TcsExhaustionPlan,
+    TransientEpcPlan,
+)
+
+__all__ = [
+    "EnclaveLossPlan",
+    "FaultInjector",
+    "FaultPlan",
+    "InjectedFault",
+    "INJECT_EPC",
+    "INJECT_LOSS",
+    "INJECT_OCALL_DELAY",
+    "INJECT_OCALL_ERROR",
+    "INJECT_TCS",
+    "OcallFaultPlan",
+    "TcsExhaustionPlan",
+    "TransientEpcPlan",
+]

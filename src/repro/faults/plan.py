@@ -1,0 +1,129 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` describes *what* to inject and *when*; the
+:class:`~repro.faults.injector.FaultInjector` carries it into the hardware
+model and SDK.  Plans are plain frozen data: every random decision is drawn
+from the simulation's named, seeded RNG streams and every schedule is
+expressed in virtual-clock nanoseconds, so a campaign with a fixed seed
+replays the exact same faults, retries and final trace on every run
+(Stress-SGX's methodology: stress the enclave to its failure points,
+deterministically).
+
+Four fault families, matching where real SGX deployments hurt:
+
+* **enclave loss** — a power transition invalidates the enclave; the next
+  EENTER fails with ``SGX_ERROR_ENCLAVE_LOST`` (the SDK's documented
+  destroy/re-create contract);
+* **transient EPC faults** — an EWB/ELDU round fails its integrity check
+  and is retried by the driver, stretching paging latency;
+* **ocall faults** — the untrusted ocall body throws or stalls (buggy or
+  slow untrusted runtime);
+* **TCS exhaustion** — bursts during which every entry attempt sees
+  ``SGX_ERROR_OUT_OF_TCS`` (thread-pool overload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class EnclaveLossPlan:
+    """When to lose enclaves (power-transition model).
+
+    ``at_ns`` schedules losses on the virtual clock: the first ecall entry
+    at or after each timestamp invalidates the target enclave.
+    ``probability`` additionally makes every ecall entry a seeded coin
+    flip.  Both may be combined.
+    """
+
+    at_ns: tuple[int, ...] = ()
+    probability: float = 0.0
+
+    @property
+    def active(self) -> bool:
+        """Whether this plan can ever fire."""
+        return bool(self.at_ns) or self.probability > 0.0
+
+
+@dataclass(frozen=True)
+class TransientEpcPlan:
+    """Transient EWB/ELDU integrity failures, retried by the driver."""
+
+    probability: float = 0.0
+    retry_cost_ns: int = 1_400  # one extra crypto round per retry
+
+    @property
+    def active(self) -> bool:
+        """Whether this plan can ever fire."""
+        return self.probability > 0.0
+
+
+@dataclass(frozen=True)
+class OcallFaultPlan:
+    """Exceptions and delays injected into untrusted ocall bodies.
+
+    Sync ocalls (the SDK's sleep/wake quartet) are excluded by default:
+    faulting them models a broken scheduler rather than a broken
+    application, and reliably deadlocks the workload instead of exercising
+    recovery.
+    """
+
+    error_probability: float = 0.0
+    delay_probability: float = 0.0
+    delay_ns: int = 250_000
+    include_sync: bool = False
+
+    @property
+    def active(self) -> bool:
+        """Whether this plan can ever fire."""
+        return self.error_probability > 0.0 or self.delay_probability > 0.0
+
+
+@dataclass(frozen=True)
+class TcsExhaustionPlan:
+    """Bursts during which every entry fails with ``SGX_ERROR_OUT_OF_TCS``.
+
+    ``windows`` are half-open virtual-time intervals ``[start_ns, end_ns)``.
+    """
+
+    windows: tuple[tuple[int, int], ...] = ()
+
+    @property
+    def active(self) -> bool:
+        """Whether this plan can ever fire."""
+        return bool(self.windows)
+
+    def exhausted_at(self, now_ns: int) -> bool:
+        """Whether ``now_ns`` falls inside an exhaustion burst."""
+        for start, end in self.windows:
+            if start <= now_ns < end:
+                return True
+        return False
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete fault-injection campaign description."""
+
+    enclave_loss: Optional[EnclaveLossPlan] = None
+    epc: Optional[TransientEpcPlan] = None
+    ocall: Optional[OcallFaultPlan] = None
+    tcs: Optional[TcsExhaustionPlan] = None
+    # Salt mixed into the RNG stream names, so two injectors in one
+    # simulation (multi-tenant campaigns) draw independently.
+    stream_salt: str = field(default="faults")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any sub-plan can ever fire."""
+        return any(
+            plan is not None and plan.active
+            for plan in (self.enclave_loss, self.epc, self.ocall, self.tcs)
+        )
+
+    @classmethod
+    def disabled(cls) -> "FaultPlan":
+        """A plan that injects nothing (the zero-overhead baseline)."""
+        return cls()

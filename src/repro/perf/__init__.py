@@ -10,12 +10,13 @@ Three cooperating tools (paper §4):
 """
 
 from repro.perf.analysis import AnalysisReport, Analyzer, AnalyzerWeights, Finding, Problem, Recommendation
-from repro.perf.database import TraceDatabase
+from repro.perf.database import TRUNCATED_CALL_NAME, TraceDatabase
 from repro.perf.events import (
     AexEvent,
     CallEvent,
     ECALL,
     EnclaveRecord,
+    FaultRecord,
     OCALL,
     PagingRecord,
     SyncEvent,
@@ -35,8 +36,10 @@ __all__ = [
     "ECALL",
     "EnclaveRecord",
     "EventLogger",
+    "FaultRecord",
     "Finding",
     "OCALL",
+    "TRUNCATED_CALL_NAME",
     "PagingRecord",
     "Problem",
     "Recommendation",

@@ -39,6 +39,10 @@ class AnalysisReport:
     aex_total: int = 0
     paging_events: int = 0
     notes: list[str] = field(default_factory=list)
+    # Fault & recovery annotations: None/empty for clean fault-free traces.
+    trace_state: Optional[str] = None  # None | "aborted" | "salvaged"
+    fault_counts: list[tuple[str, int]] = field(default_factory=list)
+    truncated_calls: int = 0
 
     def findings_by_priority(self) -> list[det.Finding]:
         """Findings sorted best-priority-first (reorder > merge > move...)."""
@@ -62,6 +66,18 @@ class AnalysisReport:
             f"AEXs: {self.aex_total}   paging events: {self.paging_events}   "
             f"transition round-trip: {self.transition_round_trip_ns} ns"
         )
+        if self.trace_state is not None:
+            lines.append(
+                f"trace state: {self.trace_state} — {self.truncated_calls} "
+                "truncated call(s); truncated durations are lower bounds"
+            )
+        if self.fault_counts or self.trace_state is not None:
+            lines.append("")
+            lines.append("-- faults & recovery " + "-" * 57)
+            if not self.fault_counts:
+                lines.append("no fault events recorded")
+            for kind, count in self.fault_counts:
+                lines.append(f"{kind:30} {count:>8}")
         lines.append("")
         lines.append("-- general statistics (top by total time) " + "-" * 35)
         header = (
@@ -114,6 +130,8 @@ class Analyzer:
         calls = self.db.call_columns()
         sync_events = self.db.sync_events()
         paging = self.db.paging_events()
+        faults = self.db.fault_events()
+        trace_state = self.db.get_meta("trace_state")
         transition_ns = int(
             self.db.get_meta("transition_round_trip_ns", str(DEFAULT_TRANSITION_NS))
         )
@@ -152,6 +170,26 @@ class Analyzer:
             aex_total=int(calls.aex_count.sum()),
             paging_events=len(paging),
         )
+        if faults or trace_state is not None:
+            counts: dict[str, int] = {}
+            for fault in faults:
+                counts[fault.kind] = counts.get(fault.kind, 0) + 1
+            report.trace_state = trace_state
+            report.fault_counts = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+            report.truncated_calls = counts.get("truncated", 0)
+            losses = counts.get("inject:loss", 0)
+            recreates = counts.get("recover:recreate", 0)
+            retries = counts.get("recover:retry", 0)
+            if losses or recreates:
+                report.notes.append(
+                    f"enclave loss: {losses} lost, {recreates} re-created, "
+                    f"{retries} calls retried — statistics include retried calls"
+                )
+            if trace_state is not None:
+                report.notes.append(
+                    f"trace was {trace_state}: {report.truncated_calls} call(s) "
+                    "closed at the trace horizon, not by returning"
+                )
         if self.definition is None:
             report.notes.append(
                 "no EDL supplied: allow-list narrowing reports minimal observed "

@@ -9,6 +9,8 @@ Subcommands:
   enclave's EDL file for allow-list narrowing);
 * ``stats``   — detailed statistics/histogram/scatter for one call;
 * ``dot``     — emit the Figure 5-style call graph in Graphviz DOT;
+* ``salvage`` — recover a trace whose recording run crashed (close dangling
+  calls, mark the trace salvaged);
 * ``workloads`` — list recordable workloads.
 """
 
@@ -84,6 +86,16 @@ def _cmd_dot(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_salvage(args: argparse.Namespace) -> int:
+    with TraceDatabase(args.trace) as db:
+        result = db.salvage()
+        print(
+            f"salvaged {args.trace}: closed {result['closed']} dangling call(s) "
+            f"at horizon {result['horizon_ns']} ns"
+        )
+    return 0
+
+
 def _cmd_workloads(args: argparse.Namespace) -> int:
     for name in sorted(_workload_registry()):
         print(name)
@@ -122,6 +134,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_dot = sub.add_parser("dot", help="emit the call graph as Graphviz DOT")
     p_dot.add_argument("trace")
     p_dot.set_defaults(func=_cmd_dot)
+
+    p_salvage = sub.add_parser("salvage", help="recover a crashed recording run's trace")
+    p_salvage.add_argument("trace", help="trace database path")
+    p_salvage.set_defaults(func=_cmd_salvage)
 
     p_list = sub.add_parser("workloads", help="list recordable workloads")
     p_list.set_defaults(func=_cmd_workloads)

@@ -34,14 +34,21 @@ import numpy as np
 
 from repro.perf.columns import CallColumns
 from repro.perf.events import (
+    ECALL,
+    OCALL,
     AexEvent,
     CallEvent,
     EnclaveRecord,
+    FaultRecord,
     PagingRecord,
     SyncEvent,
     SyncKind,
     ThreadRecord,
 )
+
+# Name given to calls synthesised by salvage for ids the crashed logger
+# never flushed (their real names died with the in-memory frames).
+TRUNCATED_CALL_NAME = "<truncated>"
 
 _SCHEMA_TABLES = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -83,6 +90,15 @@ CREATE TABLE IF NOT EXISTS sync (
     call_id INTEGER NOT NULL,
     targets TEXT NOT NULL DEFAULT ''
 );
+CREATE TABLE IF NOT EXISTS faults (
+    id INTEGER PRIMARY KEY,
+    ts_ns INTEGER NOT NULL,
+    enclave_id INTEGER NOT NULL DEFAULT 0,
+    thread_id INTEGER NOT NULL DEFAULT 0,
+    kind TEXT NOT NULL,
+    call TEXT NOT NULL DEFAULT '',
+    detail TEXT NOT NULL DEFAULT ''
+);
 CREATE TABLE IF NOT EXISTS threads (
     thread_id INTEGER PRIMARY KEY,
     name TEXT NOT NULL,
@@ -106,6 +122,7 @@ _INSERT_CALLS = "INSERT INTO calls VALUES (?,?,?,?,?,?,?,?,?,?,?)"
 _INSERT_AEX = "INSERT INTO aex VALUES (?,?,?,?,?)"
 _INSERT_PAGING = "INSERT INTO paging VALUES (?,?,?,?,?)"
 _INSERT_SYNC = "INSERT INTO sync VALUES (?,?,?,?,?,?)"
+_INSERT_FAULTS = "INSERT INTO faults VALUES (?,?,?,?,?,?,?)"
 
 _FLUSH_THRESHOLD = 4096
 
@@ -163,6 +180,7 @@ class TraceDatabase:
         self._aex: list[tuple] = []
         self._paging: list[tuple] = []
         self._sync: list[tuple] = []
+        self._faults: list[tuple] = []
         self._closed = False
 
     def _apply_recording_pragmas(self) -> None:
@@ -208,6 +226,13 @@ class TraceDatabase:
         if len(buf) >= self._flush_threshold:
             self.flush()
 
+    def add_fault_row(self, row: tuple) -> None:
+        """Buffer one fault/recovery row."""
+        buf = self._faults
+        buf.append(row)
+        if len(buf) >= self._flush_threshold:
+            self.flush()
+
     def add_call_rows(self, rows: Iterable[tuple]) -> None:
         """Bulk-insert completed call rows (one transaction, no buffering)."""
         self._write_batch(_INSERT_CALLS, rows)
@@ -223,6 +248,10 @@ class TraceDatabase:
     def add_sync_rows(self, rows: Iterable[tuple]) -> None:
         """Bulk-insert sync rows."""
         self._write_batch(_INSERT_SYNC, rows)
+
+    def add_fault_rows(self, rows: Iterable[tuple]) -> None:
+        """Bulk-insert fault/recovery rows."""
+        self._write_batch(_INSERT_FAULTS, rows)
 
     def _write_batch(self, sql: str, rows: Iterable[tuple]) -> None:
         conn = self._conn
@@ -318,6 +347,9 @@ class TraceDatabase:
         if self._sync:
             self.add_sync_rows(self._sync)
             self._sync.clear()
+        if self._faults:
+            self.add_fault_rows(self._faults)
+            self._faults.clear()
 
     def close(self) -> None:
         """Flush and close the underlying connection."""
@@ -457,6 +489,12 @@ class TraceDatabase:
             for r in rows
         ]
 
+    def fault_events(self) -> list[FaultRecord]:
+        """Load all fault/recovery rows."""
+        self._ensure_read()
+        rows = self._conn.execute("SELECT * FROM faults ORDER BY ts_ns, id").fetchall()
+        return [FaultRecord(*r) for r in rows]
+
     def threads(self) -> list[ThreadRecord]:
         """Load observed threads."""
         self._ensure_read()
@@ -468,6 +506,114 @@ class TraceDatabase:
         self._ensure_read()
         rows = self._conn.execute("SELECT * FROM enclaves ORDER BY enclave_id").fetchall()
         return [EnclaveRecord(*r) for r in rows]
+
+    # -- crash recovery ------------------------------------------------------
+
+    def salvage(self) -> dict:
+        """Recovery mode for a trace whose logger died without finalizing.
+
+        A crashed recording run leaves flushed child rows (nested calls,
+        AEXs, sync events) referencing parent call ids whose own rows were
+        still open in-memory frames when the process died.  Salvage finds
+        every such dangling id, synthesises a closed ``<truncated>`` call
+        row for it — kind inferred from the evidence the children left
+        behind, end time pinned to the trace horizon — and marks the trace
+        ``salvaged`` so the analysis layer annotates instead of crashing.
+
+        Returns ``{"closed": <rows synthesised>, "horizon_ns": <horizon>}``.
+        Idempotent: a second pass finds nothing dangling.
+        """
+        self.flush()
+        conn = self._conn
+        missing: set[int] = set()
+        for sql in (
+            "SELECT DISTINCT parent_id FROM calls WHERE parent_id IS NOT NULL"
+            " AND parent_id NOT IN (SELECT id FROM calls)",
+            "SELECT DISTINCT call_id FROM aex WHERE call_id IS NOT NULL"
+            " AND call_id NOT IN (SELECT id FROM calls)",
+            "SELECT DISTINCT call_id FROM sync"
+            " WHERE call_id NOT IN (SELECT id FROM calls)",
+        ):
+            missing.update(r[0] for r in conn.execute(sql).fetchall())
+        horizon = 0
+        for sql in (
+            "SELECT MAX(end_ns) FROM calls",
+            "SELECT MAX(ts_ns) FROM aex",
+            "SELECT MAX(ts_ns) FROM paging",
+            "SELECT MAX(ts_ns) FROM sync",
+        ):
+            value = conn.execute(sql).fetchone()[0]
+            if value is not None and value > horizon:
+                horizon = value
+        rows: list[tuple] = []
+        fault_rows: list[tuple] = []
+        for call_id in sorted(missing):
+            children = conn.execute(
+                "SELECT kind, enclave_id, thread_id, start_ns FROM calls"
+                " WHERE parent_id = ? ORDER BY id",
+                (call_id,),
+            ).fetchall()
+            aex_hits = conn.execute(
+                "SELECT enclave_id, thread_id, ts_ns FROM aex WHERE call_id = ?",
+                (call_id,),
+            ).fetchall()
+            sync_hits = conn.execute(
+                "SELECT thread_id, ts_ns FROM sync WHERE call_id = ?", (call_id,)
+            ).fetchall()
+            # Kind heuristics: AEXs interrupt ecalls and ocall children run
+            # under ecalls; sync events happen *in* (sync) ocalls and
+            # nested-ecall children run under ocalls.
+            child_kinds = {c[0] for c in children}
+            if aex_hits or OCALL in child_kinds:
+                kind = ECALL
+            elif sync_hits or ECALL in child_kinds:
+                kind = OCALL
+            else:
+                kind = ECALL
+            enclave_id = next(
+                (c[1] for c in children), next((a[0] for a in aex_hits), 0)
+            )
+            thread_id = next(
+                (c[2] for c in children),
+                next((a[1] for a in aex_hits), next((s[0] for s in sync_hits), 0)),
+            )
+            evidence = (
+                [c[3] for c in children]
+                + [a[2] for a in aex_hits]
+                + [s[1] for s in sync_hits]
+            )
+            start_ns = min(evidence) if evidence else horizon
+            rows.append(
+                (
+                    call_id,
+                    kind,
+                    TRUNCATED_CALL_NAME,
+                    -1,
+                    enclave_id,
+                    thread_id,
+                    start_ns,
+                    horizon,
+                    len(aex_hits),
+                    None,
+                    0,
+                )
+            )
+            fault_rows.append(
+                (
+                    None,
+                    horizon,
+                    enclave_id,
+                    thread_id,
+                    "truncated",
+                    TRUNCATED_CALL_NAME,
+                    f"call {call_id} never returned; closed at trace horizon",
+                )
+            )
+        if rows:
+            self.add_call_rows(rows)
+            self.add_fault_rows(fault_rows)
+        self.set_meta("trace_state", "salvaged")
+        return {"closed": len(rows), "horizon_ns": horizon}
 
     def execute(self, sql: str, params: Iterable = ()) -> list[tuple]:
         """Run raw SQL against the trace — the 'other tools' escape hatch.

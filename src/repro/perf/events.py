@@ -120,6 +120,26 @@ class PagingRecord:
 
 
 @dataclass(frozen=True)
+class FaultRecord:
+    """One fault or recovery event (injected faults, retries, truncations).
+
+    ``kind`` is namespaced: ``inject:*`` rows come from the fault injector,
+    ``recover:*`` from :class:`~repro.sdk.resilience.ResilientEnclave`,
+    ``status:*`` from non-success ecall statuses the logger observed, and
+    ``truncated`` marks calls closed by abort/salvage rather than by
+    returning.
+    """
+
+    event_id: int
+    timestamp_ns: int
+    enclave_id: int
+    thread_id: int
+    kind: str
+    call: str = ""
+    detail: str = ""
+
+
+@dataclass(frozen=True)
 class ThreadRecord:
     """A thread observed by the logger (via pthread_create shadowing)."""
 

@@ -46,6 +46,7 @@ from repro.sdk.edger8r import (
     SYNC_OCALL_SETWAIT,
     SYNC_OCALL_WAIT,
 )
+from repro.sdk.errors import SgxStatus
 from repro.sdk.urts import Urts
 from repro.sgx.events import AexInfo
 from repro.sgx.paging import KPROBE_ELDU, KPROBE_EWB
@@ -67,14 +68,19 @@ STUB_CREATE_NS = 450  # one-time, per generated ocall stub
 # serialisation should stay off the recording critical path.
 DRAIN_THRESHOLD = 65_536
 
-# Open-call frame layout: a small mutable list per in-flight call.  Only
-# what outlives the call's own stack frame lives here — identity for
-# parent links, the enclave for ocall attribution, the kind for AEX
-# attribution, and the AEX counter the AEP hook increments.
+# Open-call frame layout: a small mutable list per in-flight call.  What
+# outlives the call's own stack frame lives here — identity for parent
+# links, the enclave for ocall attribution, the kind for AEX attribution,
+# the AEX counter the AEP hook increments — plus everything abort() needs
+# to close the call as a truncated row if the run dies mid-call.
 _F_ID = 0
 _F_ENCLAVE = 1
 _F_IS_ECALL = 2
 _F_AEX = 3
+_F_NAME = 4
+_F_INDEX = 5
+_F_START = 6
+_F_SYNC = 7
 
 
 class AexMode(enum.Enum):
@@ -128,6 +134,11 @@ class EventLogger:
         self._aex_rows: list[tuple] = []
         self._paging_rows: list[tuple] = []
         self._sync_rows: list[tuple] = []
+        self._fault_rows: list[tuple] = []
+        # Off by default: observing non-success ecall statuses writes extra
+        # rows, so it is opt-in (enable_fault_recording) to keep fault-free
+        # traces byte-identical to pre-fault-injection recordings.
+        self._record_statuses = False
         self._pending = 0
         self._seen_threads: set[int] = set()
         # Identity cache for the hot path: one `is` check replaces a tid
@@ -143,6 +154,7 @@ class EventLogger:
         self._real_sgx_ecall: Optional[Callable] = None
         self._wrapped_handlers = 0
         self._installed = False
+        self._aborted = False
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -182,6 +194,18 @@ class EventLogger:
 
     def flush(self) -> None:
         """Drain the per-thread buffers into the database, in event-id order."""
+        if self._aborted:
+            # abort() already closed the open frames as truncated rows;
+            # anything recorded while the crashing run unwinds would
+            # collide with them, so it is discarded.
+            for buf in self._buffers.values():
+                buf.clear()
+            self._aex_rows.clear()
+            self._paging_rows.clear()
+            self._sync_rows.clear()
+            self._fault_rows.clear()
+            self._pending = 0
+            return
         db = self.db
         merged: list[tuple] = []
         for buf in self._buffers.values():
@@ -201,10 +225,15 @@ class EventLogger:
         if self._sync_rows:
             db.add_sync_rows(self._sync_rows)
             self._sync_rows.clear()
+        if self._fault_rows:
+            db.add_fault_rows(self._fault_rows)
+            self._fault_rows.clear()
         self._pending = 0
 
     def finalize(self) -> TraceDatabase:
         """Write static records and trace metadata; returns the database."""
+        if self._aborted:
+            return self.db  # abort() was this trace's (terminal) finalization
         self.flush()
         for runtime in self.urts.runtimes().values():
             enclave = runtime.enclave
@@ -224,6 +253,86 @@ class EventLogger:
         self.db.set_meta("aex_mode", self.aex_mode.value)
         self.db.flush()
         return self.db
+
+    def abort(self) -> TraceDatabase:
+        """Abnormal-termination finalization: make the trace salvageable.
+
+        Models the logger's crash handler: drain every buffer, close each
+        still-open call frame as a truncated row ending *now* (with a
+        ``truncated`` fault row so analysis can tell lower-bound durations
+        from real ones), and mark the trace ``aborted``.  Unlike
+        :meth:`finalize` this writes no static records — a dying process
+        does the minimum that keeps the trace readable.
+
+        Terminal: after abort the logger discards anything further (the
+        unwinding run would otherwise re-record the calls abort already
+        closed) and :meth:`finalize` becomes a no-op.
+        """
+        now = self._clock.now_ns
+        rows: list[tuple] = []
+        fault_rows: list[tuple] = []
+        for tid, stack in self._open_calls.items():
+            for depth, frame in enumerate(stack):
+                parent_id = stack[depth - 1][_F_ID] if depth else None
+                rows.append(
+                    (
+                        frame[_F_ID],
+                        ECALL if frame[_F_IS_ECALL] else OCALL,
+                        frame[_F_NAME],
+                        frame[_F_INDEX],
+                        frame[_F_ENCLAVE],
+                        tid,
+                        frame[_F_START],
+                        now,
+                        frame[_F_AEX],
+                        parent_id,
+                        frame[_F_SYNC],
+                    )
+                )
+                fault_rows.append(
+                    (
+                        self._event_seq + len(fault_rows) + 1,
+                        now,
+                        frame[_F_ENCLAVE],
+                        tid,
+                        "truncated",
+                        frame[_F_NAME],
+                        f"open at abort; closed at {now} ns",
+                    )
+                )
+        self._event_seq += len(fault_rows)
+        self.flush()
+        self._aborted = True
+        if rows:
+            rows.sort()
+            self.db.add_call_rows(rows)
+            self.db.add_fault_rows(fault_rows)
+        self.db.set_meta("trace_state", "aborted")
+        self.db.flush()
+        return self.db
+
+    # -- fault recording (repro.faults) -------------------------------------
+
+    def enable_fault_recording(self) -> None:
+        """Opt in to fault rows for non-success ecall statuses.
+
+        Separate from :meth:`record_fault` (which always writes): organic
+        non-success statuses occur in fault-free runs too, so observing
+        them must not silently change existing traces.
+        """
+        self._record_statuses = True
+
+    def record_fault(
+        self, kind: str, enclave_id: int = 0, call: str = "", detail: str = ""
+    ) -> None:
+        """Append one fault/recovery row to the trace."""
+        event_id = self._event_seq = self._event_seq + 1
+        self._fault_rows.append(
+            (event_id, self._clock.now_ns, enclave_id, self._tid(), kind, call, detail)
+        )
+        self._pending += 1
+        if self._pending >= DRAIN_THRESHOLD:
+            self.flush()
 
     def __enter__(self) -> "EventLogger":
         self.install()
@@ -288,13 +397,16 @@ class EventLogger:
             name = self._ecall_name(enclave_id, index)
         parent_id = stack[-1][_F_ID] if stack else None
         start_ns = clock.now_ns
-        frame = [event_id, enclave_id, True, 0]
+        frame = [event_id, enclave_id, True, 0, name, index, start_ns, 0]
         stack.append(frame)
+        status: Any = None
         try:
             # The stub table is passed in place of the original on *every*
             # ecall — the logger cannot know beforehand whether the ecall
             # will issue ocalls (§4.1.2).
-            return self._real_sgx_ecall(enclave_id, index, stub_table, args)
+            out = self._real_sgx_ecall(enclave_id, index, stub_table, args)
+            status = out[0]
+            return out
         finally:
             # `stack`/`buf` are the entry thread's — a call returns on the
             # thread it started on, even if others ran in between.
@@ -315,6 +427,15 @@ class EventLogger:
                 )
             )
             self._pending += 1
+            if self._record_statuses and status is not SgxStatus.SGX_SUCCESS:
+                fault_id = self._event_seq = self._event_seq + 1
+                kind = (
+                    f"status:{status.name}" if status is not None else "status:EXCEPTION"
+                )
+                self._fault_rows.append(
+                    (fault_id, clock.now_ns, enclave_id, tid, kind, name, "")
+                )
+                self._pending += 1
             if self._pending >= DRAIN_THRESHOLD:
                 self.flush()
             sim.compute(ECALL_LOG_POST_NS)
@@ -372,7 +493,7 @@ class EventLogger:
             start_ns = clock.now_ns
             if is_sync:
                 record_sync(event_id, tid, start_ns, name, args)
-            frame = [event_id, enclave_id, False, 0]
+            frame = [event_id, enclave_id, False, 0, name, index, start_ns, 1 if is_sync else 0]
             stack.append(frame)
             try:
                 return original_fn(*args)

@@ -27,7 +27,8 @@ from repro.sdk.edl import (
     format_edl,
     parse_edl,
 )
-from repro.sdk.errors import SgxError, SgxStatus
+from repro.sdk.errors import EnclaveLostError, SdkSyncError, SgxError, SgxStatus
+from repro.sdk.resilience import RecoveryEvent, ResilientEnclave
 from repro.sdk.sync import HybridMutex, SdkCondVar, SdkMutex
 from repro.sdk.trts import ThreadState, TrustedBridge, TrustedBuffer, TrustedContext
 from repro.sdk.urts import EnclaveRuntime, Urts
@@ -38,14 +39,18 @@ __all__ = [
     "EdlError",
     "EnclaveDefinition",
     "EnclaveHandle",
+    "EnclaveLostError",
     "EnclaveRuntime",
     "HybridMutex",
     "OcallDecl",
     "OcallTable",
     "Param",
     "SYNC_OCALL_NAMES",
+    "RecoveryEvent",
+    "ResilientEnclave",
     "SdkCondVar",
     "SdkMutex",
+    "SdkSyncError",
     "SgxError",
     "SgxStatus",
     "ThreadState",

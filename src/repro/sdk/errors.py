@@ -9,6 +9,7 @@ class SgxStatus(enum.Enum):
     """Subset of the SDK's ``sgx_status_t`` relevant to the model."""
 
     SGX_SUCCESS = 0x0000
+    SGX_ERROR_UNEXPECTED = 0x0001
     SGX_ERROR_INVALID_PARAMETER = 0x0002
     SGX_ERROR_OUT_OF_MEMORY = 0x0003
     SGX_ERROR_ENCLAVE_LOST = 0x0004
@@ -27,3 +28,26 @@ class SgxError(RuntimeError):
         super().__init__(message)
         self.status = status
         self.detail = detail
+
+
+class SdkSyncError(SgxError):
+    """Misuse of an SDK synchronisation primitive (relock, bad unlock).
+
+    The real SDK returns ``EDEADLK``/``EPERM`` from ``sgx_thread_mutex_*``;
+    the model raises instead so the bug is loud, but through a typed
+    exception fault-campaign code can catch precisely.
+    """
+
+    def __init__(self, detail: str) -> None:
+        super().__init__(SgxStatus.SGX_ERROR_INVALID_PARAMETER, detail)
+
+
+class EnclaveLostError(SgxError):
+    """An enclave was lost (power transition) and could not be recovered.
+
+    Raised by :class:`repro.sdk.resilience.ResilientEnclave` once its
+    bounded destroy/re-create/replay loop runs out of retries.
+    """
+
+    def __init__(self, detail: str = "") -> None:
+        super().__init__(SgxStatus.SGX_ERROR_ENCLAVE_LOST, detail)

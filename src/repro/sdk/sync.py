@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.sdk import constants as sdkc
+from repro.sdk.errors import SdkSyncError
 from repro.sdk.trts import TrustedContext
 
 # Ocall names (kept in sync with repro.sdk.edger8r, re-declared here to
@@ -55,7 +56,7 @@ class SdkMutex:
             self.stats["lock_fast"] += 1
             return
         if self._owner == token:
-            raise RuntimeError(f"mutex {self.name!r}: relock by owner {token}")
+            raise SdkSyncError(f"mutex {self.name!r}: relock by owner {token}")
         while self._owner is not None:
             self._queue.append(token)
             self.stats["lock_slept"] += 1
@@ -79,7 +80,7 @@ class SdkMutex:
         """Release the mutex, waking the first queued sleeper via ocall."""
         token = ctx.urts.current_thread_token()
         if self._owner != token:
-            raise RuntimeError(
+            raise SdkSyncError(
                 f"mutex {self.name!r}: unlock by {token}, owner is {self._owner}"
             )
         ctx.compute(_FAST_PATH_NS)

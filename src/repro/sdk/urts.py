@@ -87,8 +87,16 @@ class Urts:
         self._thread_states: dict[Optional[int], ThreadState] = {}
         self._aep_hook: Optional[AepHook] = None
         self._event_pending: dict[Any, int] = {}
+        # Fault-injection hook (repro.faults): consulted at ecall entry and
+        # ocall dispatch when set.  ``None`` keeps both paths byte-identical
+        # to the fault-free runtime.
+        self._fault_hook: Optional[Any] = None
         self.library = Library("libsgx_urts.so", {"sgx_ecall": self._sgx_ecall})
         process.loader.load(self.library)
+        # Reclaim per-thread call-stack and pending-event state when a
+        # simulated thread finishes; long-running processes would otherwise
+        # leak one ThreadState per short-lived worker.
+        self.sim.on_thread_exit(self._reclaim_thread_state)
 
     # -- enclave lifecycle ---------------------------------------------------
 
@@ -143,6 +151,18 @@ class Urts:
         """Replace the AEP's pre-ERESUME behaviour (the logger's AEX hook)."""
         self._aep_hook = hook
 
+    # -- fault injection -----------------------------------------------------
+
+    def set_fault_hook(self, hook: Optional[Any]) -> None:
+        """Install (or clear) the fault-injection hook.
+
+        The hook (a :class:`repro.faults.FaultInjector`) is consulted on
+        every ecall entry (may invalidate the enclave or force
+        ``SGX_ERROR_OUT_OF_TCS``) and on every ocall dispatch (may delay or
+        raise).  With no hook installed these paths cost nothing extra.
+        """
+        self._fault_hook = hook
+
     # -- per-thread call state -------------------------------------------------------
 
     def thread_state(self) -> ThreadState:
@@ -154,6 +174,16 @@ class Urts:
             state = ThreadState()
             self._thread_states[key] = state
         return state
+
+    def _reclaim_thread_state(self, thread: Any) -> None:
+        """Drop per-thread state when a simulated thread exits.
+
+        A wake raced against a dying thread leaves an ``_event_pending``
+        credit nobody will ever consume; dropping it with the thread is the
+        same as the OS discarding a futex wake for a dead task.
+        """
+        self._thread_states.pop(thread.tid, None)
+        self._event_pending.pop(thread.tid, None)
 
     # -- the sgx_ecall entry point -----------------------------------------------------
 
@@ -172,6 +202,15 @@ class Urts:
         runtime = self._runtimes.get(enclave_id)
         if runtime is None:
             return SgxStatus.SGX_ERROR_INVALID_ENCLAVE_ID, None
+        hook = self._fault_hook
+        if hook is not None:
+            injected = hook.on_ecall_entry(runtime)
+            if injected is not None:
+                return injected, None
+        if runtime.enclave.lost:
+            # The enclave did not survive a power transition; the driver
+            # rejects the EENTER.  Only destroy + re-create recovers.
+            return SgxStatus.SGX_ERROR_ENCLAVE_LOST, None
         definition = runtime.definition
         if not 0 <= index < len(definition.ecalls):
             return SgxStatus.SGX_ERROR_INVALID_FUNCTION, None
@@ -260,6 +299,16 @@ class Urts:
                 SgxStatus.SGX_ERROR_OCALL_NOT_ALLOWED,
                 "no ocall table saved (enclave entered without one)",
             )
+        if not 0 <= index < len(table):
+            # Same boundary discipline as the ecall side: a bad identifier
+            # is an SDK status, not a raw IndexError out of the table.
+            raise SgxError(
+                SgxStatus.SGX_ERROR_INVALID_FUNCTION,
+                f"ocall index {index} out of range (table has {len(table)})",
+            )
+        hook = self._fault_hook
+        if hook is not None:
+            hook.on_ocall_dispatch(runtime, index, table.names[index])
         entry = table.entry(index)
         return entry(*args)
 

@@ -149,6 +149,10 @@ class Enclave:
         self.code_pages = [p for p in self.pages if p.page_type is PageType.CODE]
         self.measurement = self._measure(code_identity)
         self.destroyed = False
+        # Power-transition loss (SDK §"power transitions"): EPC contents do
+        # not survive S3/S4 sleep.  Once set, every subsequent EENTER fails
+        # with SGX_ERROR_ENCLAVE_LOST; the only recovery is destroy+recreate.
+        self.lost = False
 
     # -- layout -------------------------------------------------------------
 

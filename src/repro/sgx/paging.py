@@ -31,6 +31,10 @@ KPROBE_ELDU = "sgx_eldu"
 PagingCallback = Callable[[int, int, int, str], None]
 """Tracepoint callback: (timestamp_ns, enclave_id, vaddr, direction)."""
 
+# One failed-and-retried EWB/ELDU round: version-array or MAC check fails
+# transiently and the driver re-issues the instruction.
+TRANSIENT_RETRY_NS = 1_400
+
 
 class SgxDriver:
     """Kernel module: enclave lifecycle and EPC paging."""
@@ -46,6 +50,14 @@ class SgxDriver:
             KPROBE_ELDU: [],
         }
         self.stats = {"page_in": 0, "page_out": 0, "faults": 0}
+        # Fault-injection hook (repro.faults): consulted on every page
+        # crossing when set.  ``None`` keeps the paths byte-identical to
+        # the fault-free driver.
+        self._fault_hook: Optional[Callable[[str], None]] = None
+
+    def set_fault_hook(self, hook: Optional[Callable[[str], None]]) -> None:
+        """Install (or clear) the paging fault-injection hook."""
+        self._fault_hook = hook
 
     # -- kprobes -----------------------------------------------------------
 
@@ -112,6 +124,32 @@ class SgxDriver:
         enclave.destroyed = True
         self.enclaves.pop(enclave.enclave_id, None)
 
+    def invalidate_enclave(self, enclave: Enclave) -> None:
+        """Mark an enclave lost (power-transition model).
+
+        EPC contents do not survive a power transition: every resident
+        frame is released and the enclave is flagged so the next EENTER
+        fails with ``SGX_ERROR_ENCLAVE_LOST``.  The enclave stays
+        registered — the application still has to destroy and re-create it,
+        exactly as with the real SDK.
+        """
+        for page in enclave.pages:
+            if page.resident:
+                self.epc.unpin(page)
+                self.epc.remove(page)
+        enclave.lost = True
+
+    def power_transition(self) -> int:
+        """A machine suspend/resume: every live enclave is lost.
+
+        Returns the number of enclaves invalidated.
+        """
+        victims = list(self.enclaves.values())
+        for enclave in victims:
+            if not enclave.lost:
+                self.invalidate_enclave(enclave)
+        return len(victims)
+
     # -- paging ---------------------------------------------------------------
 
     def _make_room(self, for_enclave: Enclave) -> None:
@@ -121,7 +159,13 @@ class SgxDriver:
 
     def _page_out(self, page: Page) -> None:
         owner = self.enclaves[page.enclave_id]
+        if self._fault_hook is not None:
+            self._fault_hook("page_out")
         self.sim.compute(self.sim.rng.jitter_ns("sgx:ewb", c.EWB_PAGE_NS))
+        if not page.resident:
+            # The EWB charge yielded the turn and another thread (or an
+            # enclave invalidation) evicted this frame meanwhile.
+            return
         self.epc.remove(page)
         self.stats["page_out"] += 1
         self._fire(KPROBE_EWB, owner, page, "page_out")
@@ -133,7 +177,13 @@ class SgxDriver:
         owner = self.enclaves[page.enclave_id]
         self.stats["faults"] += 1
         self._make_room(owner)
+        if self._fault_hook is not None:
+            self._fault_hook("page_in")
         self.sim.compute(self.sim.rng.jitter_ns("sgx:eldu", c.ELDU_PAGE_NS))
+        if page.resident:
+            # The ELDU charge yielded the turn and another thread faulting
+            # on the same page completed its load first.
+            return
         self.epc.insert(page)
         self.stats["page_in"] += 1
         self._fire(KPROBE_ELDU, owner, page, "page_in")

@@ -154,6 +154,7 @@ class Simulation:
         self._sched_event = threading.Event()
         self._futexes: dict[Any, list[SimThread]] = {}
         self._running = False
+        self._exit_hooks: list[Callable[[SimThread], None]] = []
 
     # -- bookkeeping --------------------------------------------------------
 
@@ -252,8 +253,23 @@ class Simulation:
                 self._sched_event.wait()
             elif thread.is_alive:
                 thread.state = _DONE
+                self._run_exit_hooks(thread)
+
+    def on_thread_exit(self, hook: Callable[[SimThread], None]) -> None:
+        """Register a callback fired when any simulated thread finishes.
+
+        Runs on the finishing thread, while it still holds the turn — safe
+        for per-thread bookkeeping cleanup (the URTS reclaims its call-stack
+        and event state here).  Hooks must not block or consume time.
+        """
+        self._exit_hooks.append(hook)
+
+    def _run_exit_hooks(self, thread: SimThread) -> None:
+        for hook in self._exit_hooks:
+            hook(thread)
 
     def _on_thread_done(self, thread: SimThread) -> None:
+        self._run_exit_hooks(thread)
         self._sched_event.set()
 
     def _yield_turn(self, thread: SimThread) -> None:

@@ -1,0 +1,103 @@
+"""ResilientEnclave: the destroy/re-create/replay loop, under injection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import EnclaveLossPlan, FaultInjector, FaultPlan, TcsExhaustionPlan
+from repro.sdk.edger8r import build_enclave
+from repro.sdk.errors import EnclaveLostError, SgxError, SgxStatus
+from repro.sdk.resilience import (
+    RECOVER_GIVEUP,
+    RECOVER_RECREATE,
+    RECOVER_RETRY,
+    ResilientEnclave,
+)
+from repro.sgx.enclave import EnclaveConfig
+
+from tests.conftest import SIMPLE_EDL, make_simple_impls
+
+
+def make_factory(urts):
+    trusted, untrusted = make_simple_impls()
+
+    def factory():
+        return build_enclave(
+            urts,
+            SIMPLE_EDL,
+            trusted,
+            untrusted,
+            config=EnclaveConfig(heap_bytes=128 * 1024, tcs_count=4),
+        )
+
+    return factory
+
+
+class TestResilientEnclave:
+    def test_survives_mid_workload_loss(self, urts):
+        # Schedule a loss to land in the middle of a 10-call workload.
+        plan = FaultPlan(enclave_loss=EnclaveLossPlan(at_ns=(200_000,)))
+        FaultInjector(plan, urts.sim).attach(urts)
+        resilient = ResilientEnclave(make_factory(urts))
+        first_id = resilient.enclave_id
+        for i in range(10):
+            assert resilient.ecall("ecall_add", i, i) == 2 * i
+            urts.sim.compute(50_000)
+        assert resilient.generation == 1
+        assert resilient.enclave_id != first_id
+        assert resilient.stats[RECOVER_RECREATE] == 1
+        assert resilient.stats[RECOVER_RETRY] >= 1
+        kinds = [e.kind for e in resilient.events]
+        assert RECOVER_GIVEUP not in kinds
+
+    def test_exhausted_retries_raise_enclave_lost(self, urts):
+        # Probability 1.0: every fresh enclave is lost again on next entry.
+        plan = FaultPlan(enclave_loss=EnclaveLossPlan(probability=1.0))
+        FaultInjector(plan, urts.sim).attach(urts)
+        resilient = ResilientEnclave(make_factory(urts), max_attempts=3)
+        with pytest.raises(EnclaveLostError):
+            resilient.ecall("ecall_add", 1, 2)
+        assert resilient.stats[RECOVER_GIVEUP] == 1
+        # Each non-final attempt recovered: max_attempts - 1 re-creates.
+        assert resilient.generation == 2
+
+    def test_transient_tcs_retries_without_recreate(self, urts):
+        # A short burst starting now; the first backoff escapes the window.
+        resilient = ResilientEnclave(make_factory(urts), backoff_ns=100_000)
+        now = urts.sim.now_ns
+        plan = FaultPlan(tcs=TcsExhaustionPlan(windows=((now, now + 50_000),)))
+        FaultInjector(plan, urts.sim).attach(urts)
+        assert resilient.ecall("ecall_add", 3, 4) == 7
+        assert resilient.generation == 0
+        assert resilient.stats[RECOVER_RETRY] == 1
+        assert resilient.events[0].status is SgxStatus.SGX_ERROR_OUT_OF_TCS
+
+    def test_non_retryable_status_raises_immediately(self, urts):
+        resilient = ResilientEnclave(make_factory(urts))
+        with pytest.raises(SgxError) as exc_info:
+            resilient.ecall("ecall_private")
+        assert exc_info.value.status is SgxStatus.SGX_ERROR_ECALL_NOT_ALLOWED
+        assert resilient.events == []
+
+    def test_concurrent_threads_share_one_recreate(self, urts):
+        plan = FaultPlan(enclave_loss=EnclaveLossPlan(at_ns=(150_000,)))
+        FaultInjector(plan, urts.sim).attach(urts)
+        resilient = ResilientEnclave(make_factory(urts))
+        done = {"calls": 0}
+
+        def worker():
+            for i in range(10):
+                assert resilient.ecall("ecall_compute", 20_000) == 0
+                done["calls"] += 1
+
+        for i in range(3):
+            urts.sim.spawn(worker, name=f"w{i}")
+        urts.sim.run()
+        assert done["calls"] == 30
+        # One loss, observed by up to three threads, recovered exactly once.
+        assert resilient.generation == 1
+        assert resilient.stats[RECOVER_RECREATE] == 1
+
+    def test_max_attempts_must_be_positive(self, urts):
+        with pytest.raises(ValueError):
+            ResilientEnclave(make_factory(urts), max_attempts=0)

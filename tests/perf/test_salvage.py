@@ -1,0 +1,162 @@
+"""Crash-safe recording: abort() and trace salvage.
+
+The crash model: a run is "killed" by snapshotting the trace database
+mid-run with sqlite's backup API — the copy is exactly what a dying
+process would leave on disk (flushed child rows whose parent call frames
+were still in logger memory).  Exceptions can't model this: Python
+``finally`` blocks always run, so an unwinding logger would close its
+frames on the way out.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+from repro.perf.analysis.report import Analyzer
+from repro.perf.database import TRUNCATED_CALL_NAME, TraceDatabase
+from repro.perf.events import ECALL, OCALL
+from repro.perf.logger import AexMode, EventLogger
+from repro.sdk.edger8r import build_enclave
+from repro.sgx.enclave import EnclaveConfig
+
+CRASHY_EDL = """
+enclave {
+    trusted {
+        public int ecall_job(void);
+    };
+    untrusted {
+        int ocall_step([in, string] char* msg);
+        void ocall_snap(void);
+    };
+};
+"""
+
+
+def build_crashy_app(process, urts, on_snap):
+    """An enclave whose second ocall triggers ``on_snap(logger)``."""
+    holder = {}
+
+    def ecall_job(ctx):
+        ctx.ocall("ocall_step", "first")
+        ctx.ocall("ocall_snap")
+        return 7
+
+    def ocall_step(uctx, msg):
+        uctx.compute(500)
+        return len(msg)
+
+    def ocall_snap(uctx):
+        on_snap(holder["logger"])
+
+    handle = build_enclave(
+        urts,
+        CRASHY_EDL,
+        {"ecall_job": ecall_job},
+        {"ocall_step": ocall_step, "ocall_snap": ocall_snap},
+        config=EnclaveConfig(heap_bytes=64 * 1024, tcs_count=2),
+    )
+    logger = EventLogger(process, urts, aex_mode=AexMode.OFF)
+    holder["logger"] = logger
+    return handle, logger
+
+
+class TestSalvage:
+    def test_salvage_closes_dangling_calls(self, process, urts, tmp_path):
+        crash_path = str(tmp_path / "crash.sqlite")
+
+        def snapshot(logger):
+            # Completed children hit the db; the open ecall frame doesn't.
+            logger.flush()
+            dst = sqlite3.connect(crash_path)
+            logger.db._conn.backup(dst)
+            dst.close()
+
+        handle, logger = build_crashy_app(process, urts, snapshot)
+        logger.install()
+        assert handle.ecall("ecall_job") == 7
+        logger.uninstall()
+
+        db = TraceDatabase(crash_path)
+        # The snapshot has the completed first ocall referencing a parent
+        # ecall whose row was never written.
+        ocalls = db.calls(kind=OCALL)
+        assert [o.name for o in ocalls] == ["ocall_step"]
+        assert db.calls(kind=ECALL) == []
+        dangling_parent = ocalls[0].parent_id
+        assert dangling_parent is not None
+
+        info = db.salvage()
+        assert info["closed"] == 1
+        truncated = db.calls(name=TRUNCATED_CALL_NAME)
+        assert len(truncated) == 1
+        closed = truncated[0]
+        assert closed.event_id == dangling_parent
+        assert closed.kind == ECALL  # inferred from its ocall child
+        assert closed.end_ns == info["horizon_ns"]
+        assert closed.start_ns <= ocalls[0].start_ns
+        assert db.get_meta("trace_state") == "salvaged"
+        faults = db.fault_events()
+        assert [f.kind for f in faults] == ["truncated"]
+
+        report = Analyzer(db).run()
+        text = report.render_text()
+        assert "trace state: salvaged" in text
+        assert report.truncated_calls == 1
+
+        # Idempotent: nothing dangles after one pass.
+        assert db.salvage()["closed"] == 0
+        db.close()
+
+    def test_salvage_on_clean_trace_is_a_noop(self, process, urts, tmp_path):
+        path = str(tmp_path / "clean.sqlite")
+        handle, logger = build_crashy_app(process, urts, lambda lg: None)
+        logger.db.close()
+        logger.db = TraceDatabase(path)
+        logger.install()
+        handle.ecall("ecall_job")
+        logger.uninstall()
+        db = logger.finalize()
+        assert db.salvage()["closed"] == 0
+        db.close()
+
+
+class TestAbort:
+    def test_abort_closes_open_frames_as_truncated(self, process, urts):
+        state = {}
+
+        def crash(logger):
+            state["abort_ns"] = logger.sim.now_ns
+            logger.abort()
+
+        handle, logger = build_crashy_app(process, urts, crash)
+        logger.install()
+        # The run itself completes (abort doesn't kill the simulated
+        # process) but everything after abort() is discarded.
+        assert handle.ecall("ecall_job") == 7
+        logger.uninstall()
+
+        db = logger.db
+        assert db.get_meta("trace_state") == "aborted"
+        # Both frames open at abort time — the ecall and the ocall it was
+        # blocked in — were closed at the abort timestamp, with names.
+        open_at_abort = [c for c in db.calls() if c.end_ns == state["abort_ns"]]
+        assert {(c.kind, c.name) for c in open_at_abort} == {
+            (ECALL, "ecall_job"),
+            (OCALL, "ocall_snap"),
+        }
+        ecall_row = next(c for c in open_at_abort if c.kind == ECALL)
+        ocall_row = next(c for c in open_at_abort if c.kind == OCALL)
+        assert ocall_row.parent_id == ecall_row.event_id
+        assert [f.kind for f in db.fault_events()] == ["truncated", "truncated"]
+        # The first ocall completed before the abort and kept its real row.
+        steps = db.calls(name="ocall_step")
+        assert len(steps) == 1
+        assert steps[0].end_ns < state["abort_ns"]
+
+        # Terminal: finalize is a no-op and writes no static records.
+        assert logger.finalize() is db
+        assert db.get_meta("trace_state") == "aborted"
+
+        report = Analyzer(db).run()
+        assert "trace state: aborted" in report.render_text()
+        assert report.truncated_calls == 2

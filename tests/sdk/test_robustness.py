@@ -1,0 +1,82 @@
+"""Robustness regressions: boundary checks, typed sync errors, state reclaim."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sdk.errors import SdkSyncError, SgxError, SgxStatus
+from repro.sdk.sync import SdkMutex
+
+
+class TestOcallIndexBoundary:
+    def test_out_of_range_index_is_invalid_function(self, urts, simple_enclave):
+        simple_enclave.ecall("ecall_add", 1, 2)  # saves the ocall table
+        runtime = urts.runtime(simple_enclave.enclave_id)
+        assert runtime.saved_ocall_table is not None
+        for bad_index in (-1, 99):
+            with pytest.raises(SgxError) as exc_info:
+                urts.dispatch_ocall(runtime, bad_index, ())
+            assert exc_info.value.status is SgxStatus.SGX_ERROR_INVALID_FUNCTION
+            assert "out of range" in str(exc_info.value)
+
+    def test_in_range_dispatch_still_works(self, urts, simple_enclave):
+        assert simple_enclave.ecall("ecall_with_ocall") == 0
+
+
+class TestTypedSyncErrors:
+    def _run_patched(self, urts, handle, impl):
+        urts.runtime(handle.enclave_id).bridge._impls[0] = impl
+        return handle.ecall("ecall_add", 0, 0)
+
+    def test_relock_raises_sdk_sync_error(self, urts, simple_enclave):
+        captured = {}
+
+        def relock(ctx, a, b):
+            mutex = SdkMutex(None, "m")
+            mutex.lock(ctx)
+            try:
+                mutex.lock(ctx)
+            except SdkSyncError as exc:
+                captured["exc"] = exc
+            mutex.unlock(ctx)
+            return 0
+
+        self._run_patched(urts, simple_enclave, relock)
+        exc = captured["exc"]
+        # Typed *and* still catchable the old ways.
+        assert isinstance(exc, SgxError)
+        assert isinstance(exc, RuntimeError)
+        assert exc.status is SgxStatus.SGX_ERROR_INVALID_PARAMETER
+        assert "relock" in str(exc)
+
+    def test_unlock_by_non_owner_raises_sdk_sync_error(self, urts, simple_enclave):
+        captured = {}
+
+        def bad_unlock(ctx, a, b):
+            mutex = SdkMutex(None, "m")
+            try:
+                mutex.unlock(ctx)
+            except SdkSyncError as exc:
+                captured["exc"] = exc
+            return 0
+
+        self._run_patched(urts, simple_enclave, bad_unlock)
+        assert "unlock" in str(captured["exc"])
+
+
+class TestThreadStateReclaim:
+    def test_worker_state_is_dropped_on_exit(self, urts, simple_enclave):
+        tids = []
+
+        def worker():
+            tids.append(urts.sim.current_thread.tid)
+            for _ in range(3):
+                assert simple_enclave.ecall("ecall_with_ocall") == 0
+
+        for i in range(4):
+            urts.sim.spawn(worker, name=f"w{i}")
+        urts.sim.run()
+        assert len(tids) == 4
+        for tid in tids:
+            assert tid not in urts._thread_states
+            assert tid not in urts._event_pending
