@@ -1,14 +1,21 @@
 """Deterministic fault injection for the SGX model (``repro.faults``).
 
 Seeded, virtual-clock-scheduled fault campaigns: enclave loss, transient
-EPC faults, ocall exceptions/delays, and TCS exhaustion — plus the
-recovery machinery they exercise (:class:`repro.sdk.resilience.ResilientEnclave`,
-trace salvage in :mod:`repro.perf`).
+EPC faults, ocall exceptions/delays, TCS exhaustion, and network chaos on
+the simulated serving path — plus the recovery machinery they exercise
+(:class:`repro.sdk.resilience.ResilientEnclave`, workload-level retry and
+circuit breaking in :mod:`repro.workloads.serving`, trace salvage in
+:mod:`repro.perf`) and the virtual-time hang watchdog
+(:class:`repro.faults.watchdog.HangWatchdog`).
 """
 
 from repro.faults.injector import (
     INJECT_EPC,
     INJECT_LOSS,
+    INJECT_NET_DELAY,
+    INJECT_NET_PARTITION,
+    INJECT_NET_RESET,
+    INJECT_NET_SHORT_WRITE,
     INJECT_OCALL_DELAY,
     INJECT_OCALL_ERROR,
     INJECT_TCS,
@@ -18,22 +25,42 @@ from repro.faults.injector import (
 from repro.faults.plan import (
     EnclaveLossPlan,
     FaultPlan,
+    NetworkChaosPlan,
     OcallFaultPlan,
     TcsExhaustionPlan,
     TransientEpcPlan,
+)
+from repro.faults.watchdog import (
+    WATCHDOG_DEADLOCK,
+    WATCHDOG_ECALL_TIMEOUT,
+    WATCHDOG_LOST_WAKEUP,
+    HangDetection,
+    HangWatchdog,
+    WatchdogHangError,
 )
 
 __all__ = [
     "EnclaveLossPlan",
     "FaultInjector",
     "FaultPlan",
+    "HangDetection",
+    "HangWatchdog",
     "InjectedFault",
     "INJECT_EPC",
     "INJECT_LOSS",
+    "INJECT_NET_DELAY",
+    "INJECT_NET_PARTITION",
+    "INJECT_NET_RESET",
+    "INJECT_NET_SHORT_WRITE",
     "INJECT_OCALL_DELAY",
     "INJECT_OCALL_ERROR",
     "INJECT_TCS",
+    "NetworkChaosPlan",
     "OcallFaultPlan",
     "TcsExhaustionPlan",
     "TransientEpcPlan",
+    "WATCHDOG_DEADLOCK",
+    "WATCHDOG_ECALL_TIMEOUT",
+    "WATCHDOG_LOST_WAKEUP",
+    "WatchdogHangError",
 ]

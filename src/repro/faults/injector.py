@@ -22,6 +22,7 @@ from repro.faults.plan import FaultPlan
 from repro.sdk.edger8r import SYNC_OCALL_NAMES
 from repro.sdk.errors import SgxError, SgxStatus
 from repro.sim.kernel import Simulation
+from repro.sim.net import SocketClosed
 
 # Injection-record kinds (also the ``faults`` table vocabulary).
 INJECT_LOSS = "inject:loss"
@@ -29,6 +30,10 @@ INJECT_TCS = "inject:tcs"
 INJECT_OCALL_ERROR = "inject:ocall-error"
 INJECT_OCALL_DELAY = "inject:ocall-delay"
 INJECT_EPC = "inject:epc"
+INJECT_NET_RESET = "inject:net-reset"
+INJECT_NET_DELAY = "inject:net-delay"
+INJECT_NET_SHORT_WRITE = "inject:net-short-write"
+INJECT_NET_PARTITION = "inject:net-partition"
 
 
 @dataclass(frozen=True)
@@ -59,6 +64,7 @@ class FaultInjector:
         loss = plan.enclave_loss
         self._loss_due: list[int] = sorted(loss.at_ns) if loss else []
         self._attached: list[Any] = []
+        self._listeners: list[Any] = []
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -73,12 +79,28 @@ class FaultInjector:
             self.logger.enable_fault_recording()
         return self
 
+    def attach_network(self, listener: Any) -> "FaultInjector":
+        """Install the injector as the chaos hook on ``listener``.
+
+        The hook propagates to every connection the listener establishes.
+        Like :meth:`attach`, a disabled plan keeps the injector inert and
+        fault recording off, so chaos-off traces stay byte-identical.
+        """
+        listener.set_chaos(self)
+        self._listeners.append(listener)
+        if self.logger is not None and self.plan.enabled:
+            self.logger.enable_fault_recording()
+        return self
+
     def detach(self) -> None:
         """Remove the injector from everything it was attached to."""
         for urts in self._attached:
             urts.set_fault_hook(None)
             urts.device.driver.set_fault_hook(None)
         self._attached.clear()
+        for listener in self._listeners:
+            listener.set_chaos(None)
+        self._listeners.clear()
 
     def __enter__(self) -> "FaultInjector":
         return self
@@ -180,6 +202,86 @@ class FaultInjector:
         if self._stream("epc").random() < plan.probability:
             self._record(INJECT_EPC, 0, direction, f"retry +{plan.retry_cost_ns} ns")
             self.sim.compute(plan.retry_cost_ns)
+
+    # -- hooks: network chaos (called by sim.net SimSocket/Listener) --------
+
+    def _net_stall_for_partition(self, where: str) -> None:
+        """If a partition window covers *now*, stall until it ends."""
+        plan = self.plan.network
+        if plan is None:
+            return
+        end = plan.partitioned_until(self.sim.now_ns)
+        if end is not None:
+            stall = end - self.sim.now_ns
+            self._record(
+                INJECT_NET_PARTITION, 0, where, f"link down, stalled {stall} ns"
+            )
+            self.sim.compute(stall)
+
+    def on_net_send(self, sock: Any, nbytes: int) -> int:
+        """May stall, reset or truncate a send; returns the allowed length.
+
+        Draw order per call is fixed (partition, reset, delay, short write)
+        so seeded campaigns replay identically.
+        """
+        plan = self.plan.network
+        if plan is None or not plan.active:
+            return nbytes
+        self._net_stall_for_partition(sock.name)
+        if plan.reset_probability > 0.0 and (
+            self._stream("net-reset").random() < plan.reset_probability
+        ):
+            self._record(INJECT_NET_RESET, 0, sock.name, "connection reset on send")
+            sock.reset()
+            raise SocketClosed(
+                f"{sock.name}: connection reset by chaos injector",
+                endpoint=sock.name,
+                peer=sock.peer_name,
+            )
+        if plan.delay_probability > 0.0 and (
+            self._stream("net-delay").random() < plan.delay_probability
+        ):
+            self._record(INJECT_NET_DELAY, 0, sock.name, f"send +{plan.delay_ns} ns")
+            self.sim.compute(plan.delay_ns)
+        if (
+            nbytes > 1
+            and plan.short_write_probability > 0.0
+            and self._stream("net-short").random() < plan.short_write_probability
+        ):
+            allowed = 1 + int(self._stream("net-short").random() * (nbytes - 1))
+            self._record(
+                INJECT_NET_SHORT_WRITE,
+                0,
+                sock.name,
+                f"{allowed}/{nbytes} bytes",
+            )
+            return allowed
+        return nbytes
+
+    def on_net_recv(self, sock: Any) -> None:
+        """May stall or reset a receive that is about to deliver data."""
+        plan = self.plan.network
+        if plan is None or not plan.active:
+            return
+        self._net_stall_for_partition(sock.name)
+        if plan.reset_probability > 0.0 and (
+            self._stream("net-reset").random() < plan.reset_probability
+        ):
+            self._record(INJECT_NET_RESET, 0, sock.name, "connection reset on recv")
+            sock.reset()
+            return
+        if plan.delay_probability > 0.0 and (
+            self._stream("net-delay").random() < plan.delay_probability
+        ):
+            self._record(INJECT_NET_DELAY, 0, sock.name, f"recv +{plan.delay_ns} ns")
+            self.sim.compute(plan.delay_ns)
+
+    def on_net_connect(self, listener: Any) -> None:
+        """Connects stall through partitions but otherwise succeed."""
+        plan = self.plan.network
+        if plan is None or not plan.active:
+            return
+        self._net_stall_for_partition(listener.name)
 
     # -- introspection ------------------------------------------------------
 

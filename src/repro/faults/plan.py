@@ -19,7 +19,11 @@ Four fault families, matching where real SGX deployments hurt:
 * **ocall faults** — the untrusted ocall body throws or stalls (buggy or
   slow untrusted runtime);
 * **TCS exhaustion** — bursts during which every entry attempt sees
-  ``SGX_ERROR_OUT_OF_TCS`` (thread-pool overload).
+  ``SGX_ERROR_OUT_OF_TCS`` (thread-pool overload);
+* **network chaos** — connection resets, delay spikes, short writes and
+  timed partitions on the simulated sockets serving the networked
+  workloads (the paper's TaLoS+nginx and SecureKeeper evaluations run
+  over a real network, where all of these happen).
 """
 
 from __future__ import annotations
@@ -104,6 +108,40 @@ class TcsExhaustionPlan:
 
 
 @dataclass(frozen=True)
+class NetworkChaosPlan:
+    """Seeded chaos on the simulated serving network.
+
+    Every probability is evaluated per socket operation on its own RNG
+    stream.  ``partitions`` are half-open virtual-time windows
+    ``[start_ns, end_ns)`` during which sends, receives and connects stall
+    until the window ends (the link is down, packets queue).
+    """
+
+    reset_probability: float = 0.0
+    delay_probability: float = 0.0
+    delay_ns: int = 400_000
+    short_write_probability: float = 0.0
+    partitions: tuple[tuple[int, int], ...] = ()
+
+    @property
+    def active(self) -> bool:
+        """Whether this plan can ever fire."""
+        return (
+            self.reset_probability > 0.0
+            or self.delay_probability > 0.0
+            or self.short_write_probability > 0.0
+            or bool(self.partitions)
+        )
+
+    def partitioned_until(self, now_ns: int) -> Optional[int]:
+        """End of the partition window covering ``now_ns``, if any."""
+        for start, end in self.partitions:
+            if start <= now_ns < end:
+                return end
+        return None
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A complete fault-injection campaign description."""
 
@@ -111,6 +149,7 @@ class FaultPlan:
     epc: Optional[TransientEpcPlan] = None
     ocall: Optional[OcallFaultPlan] = None
     tcs: Optional[TcsExhaustionPlan] = None
+    network: Optional[NetworkChaosPlan] = None
     # Salt mixed into the RNG stream names, so two injectors in one
     # simulation (multi-tenant campaigns) draw independently.
     stream_salt: str = field(default="faults")
@@ -120,7 +159,7 @@ class FaultPlan:
         """Whether any sub-plan can ever fire."""
         return any(
             plan is not None and plan.active
-            for plan in (self.enclave_loss, self.epc, self.ocall, self.tcs)
+            for plan in (self.enclave_loss, self.epc, self.ocall, self.tcs, self.network)
         )
 
     @classmethod

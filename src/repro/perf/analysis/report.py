@@ -23,6 +23,67 @@ from repro.sdk.edl import EnclaveDefinition
 DEFAULT_TRANSITION_NS = 2_130  # §2.3.1 baseline if the trace lacks metadata
 
 
+def availability_from_faults(faults) -> list[dict]:
+    """Per-workload availability summaries from a trace's ``serve:*`` rows.
+
+    Mirrors :meth:`repro.workloads.serving.ServingStats.summary` so the
+    offline analyser reproduces the numbers a live campaign reported:
+    request counts, retries, shed/failed totals and nearest-rank latency
+    percentiles parsed back out of ``serve:request`` details (``ok +N ns``).
+    """
+    per_workload: dict[str, dict] = {}
+
+    def bucket(workload: str) -> dict:
+        return per_workload.setdefault(
+            workload,
+            {
+                "workload": workload,
+                "attempted": 0,
+                "succeeded": 0,
+                "retries": 0,
+                "shed": 0,
+                "failed": 0,
+                "latencies": [],
+            },
+        )
+
+    for fault in faults:
+        if not fault.kind.startswith("serve:"):
+            continue
+        entry = bucket(fault.call or "?")
+        if fault.kind == "serve:request":
+            entry["attempted"] += 1
+            entry["succeeded"] += 1
+            detail = fault.detail
+            if detail.startswith("ok +") and detail.endswith(" ns"):
+                entry["latencies"].append(int(detail[4:-3]))
+        elif fault.kind == "serve:retry":
+            entry["retries"] += 1
+        elif fault.kind == "serve:shed":
+            entry["shed"] += 1
+        elif fault.kind == "serve:failed":
+            entry["attempted"] += 1
+            entry["failed"] += 1
+
+    def nearest_rank(ordered: list[int], pct: float) -> int:
+        if not ordered:
+            return 0
+        rank = max(0, min(len(ordered) - 1, int(round(pct / 100.0 * len(ordered))) - 1))
+        return ordered[rank]
+
+    summaries = []
+    for workload in sorted(per_workload):
+        entry = per_workload[workload]
+        ordered = sorted(entry.pop("latencies"))
+        entry["success_rate"] = (
+            entry["succeeded"] / entry["attempted"] if entry["attempted"] else 1.0
+        )
+        entry["p50_ns"] = nearest_rank(ordered, 50)
+        entry["p99_ns"] = nearest_rank(ordered, 99)
+        summaries.append(entry)
+    return summaries
+
+
 @dataclass
 class AnalysisReport:
     """Everything the analyser produced for one trace."""
@@ -43,10 +104,36 @@ class AnalysisReport:
     trace_state: Optional[str] = None  # None | "aborted" | "salvaged"
     fault_counts: list[tuple[str, int]] = field(default_factory=list)
     truncated_calls: int = 0
+    # Serving-path availability: empty unless the trace has serve:* rows.
+    availability: list[dict] = field(default_factory=list)
+    watchdog_counts: list[tuple[str, int]] = field(default_factory=list)
 
     def findings_by_priority(self) -> list[det.Finding]:
         """Findings sorted best-priority-first (reorder > merge > move...)."""
         return sorted(self.findings, key=lambda f: (f.priority, f.call))
+
+    def render_availability(self) -> str:
+        """Render the availability-under-chaos section (``--availability``)."""
+        lines: list[str] = []
+        lines.append("-- availability " + "-" * 62)
+        if not self.availability:
+            lines.append("no serving-path events recorded (trace has no serve:* rows)")
+        for entry in self.availability:
+            lines.append(
+                f"{entry['workload']}: {entry['succeeded']}/{entry['attempted']} "
+                f"requests ok ({entry['success_rate']:.2%}), "
+                f"{entry['retries']} retries, {entry['shed']} shed, "
+                f"{entry['failed']} failed"
+            )
+            lines.append(
+                f"  latency p50 {entry['p50_ns']} ns, p99 {entry['p99_ns']} ns"
+            )
+        if self.watchdog_counts:
+            for kind, count in self.watchdog_counts:
+                lines.append(f"{kind:30} {count:>8}")
+        else:
+            lines.append("watchdog: no hangs detected")
+        return "\n".join(lines)
 
     def render_text(self, max_stats_rows: int = 20) -> str:
         """Render the report for a terminal."""
@@ -177,6 +264,11 @@ class Analyzer:
             report.trace_state = trace_state
             report.fault_counts = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
             report.truncated_calls = counts.get("truncated", 0)
+            report.availability = availability_from_faults(faults)
+            report.watchdog_counts = sorted(
+                (kv for kv in counts.items() if kv[0].startswith("watchdog:")),
+                key=lambda kv: kv[0],
+            )
             losses = counts.get("inject:loss", 0)
             recreates = counts.get("recover:recreate", 0)
             retries = counts.get("recover:retry", 0)

@@ -56,6 +56,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     with TraceDatabase(args.trace) as db:
         report = Analyzer(db, definition=definition).run()
         print(report.render_text(max_stats_rows=args.rows))
+        if args.availability:
+            print()
+            print(report.render_availability())
     return 0
 
 
@@ -120,6 +123,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument("trace", help="trace database path")
     p_analyze.add_argument("--edl", help="enclave EDL file for security analysis")
     p_analyze.add_argument("--rows", type=int, default=20, help="statistics rows to print")
+    p_analyze.add_argument(
+        "--availability",
+        action="store_true",
+        help="append the serving-path availability section (serve:*/watchdog:* rows)",
+    )
     p_analyze.set_defaults(func=_cmd_analyze)
 
     p_stats = sub.add_parser("stats", help="statistics for one call")

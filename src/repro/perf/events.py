@@ -125,7 +125,9 @@ class FaultRecord:
 
     ``kind`` is namespaced: ``inject:*`` rows come from the fault injector,
     ``recover:*`` from :class:`~repro.sdk.resilience.ResilientEnclave`,
-    ``status:*`` from non-success ecall statuses the logger observed, and
+    ``status:*`` from non-success ecall statuses the logger observed,
+    ``serve:*`` from the serving-path availability accounting (``call``
+    holds the workload name), ``watchdog:*`` from the hang watchdog, and
     ``truncated`` marks calls closed by abort/salvage rather than by
     returning.
     """

@@ -47,6 +47,18 @@ class SdkMutex:
         """Whether some thread currently holds the mutex."""
         return self._owner is not None
 
+    @property
+    def owner_token(self) -> Any:
+        """Thread token of the current holder (``None`` if free).
+
+        Read by the hang watchdog to build its wait-for graph.
+        """
+        return self._owner
+
+    def queued_tokens(self) -> tuple:
+        """Tokens currently sleeping in the mutex's wait queue."""
+        return tuple(self._queue)
+
     def lock(self, ctx: TrustedContext) -> None:
         """Acquire the mutex, sleeping via ocall under contention."""
         token = ctx.urts.current_thread_token()
@@ -159,3 +171,7 @@ class SdkCondVar:
     def waiting(self) -> int:
         """Number of queued waiters."""
         return len(self._queue)
+
+    def queued_tokens(self) -> tuple:
+        """Tokens currently sleeping on the condition variable."""
+        return tuple(self._queue)

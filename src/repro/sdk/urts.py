@@ -74,6 +74,14 @@ class EnclaveRuntime:
             self._sync_objects[key] = obj
         return obj
 
+    def sync_objects(self) -> dict:
+        """All live mutexes/condvars, keyed ``("mutex"|"cond", name)``.
+
+        The hang watchdog walks this to build its wait-for graph — treat
+        the mapping as read-only.
+        """
+        return self._sync_objects
+
 
 class Urts:
     """Application-side SGX runtime bound to one process and one device."""
@@ -164,6 +172,14 @@ class Urts:
         self._fault_hook = hook
 
     # -- per-thread call state -------------------------------------------------------
+
+    def thread_states(self) -> dict:
+        """Per-thread SGX call stacks, keyed by simulated thread id.
+
+        Read by the hang watchdog to find long-open ecalls — treat the
+        mapping as read-only.
+        """
+        return self._thread_states
 
     def thread_state(self) -> ThreadState:
         """SGX call stack of the current simulated thread."""

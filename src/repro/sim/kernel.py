@@ -80,6 +80,12 @@ class SimThread:
         self.seq = sim._next_seq()
         self.result: Any = None
         self.exception: Optional[BaseException] = None
+        # Timed-wait bookkeeping (futex_wait with a timeout) and the
+        # blocked-since stamp the hang watchdog reads.
+        self.timeout_at: Optional[int] = None
+        self.timed_out = False
+        self.futex_key: Any = None
+        self.blocked_since_ns: Optional[int] = None
         self._killed = False
         self._go = threading.Event()
         self._os_thread: Optional[threading.Thread] = None
@@ -135,6 +141,9 @@ class SimThread:
         self.state = _RUNNABLE
         self.wake_time = self._sim.clock.now_ns
         self.seq = self._sim._next_seq()
+        self.timed_out = False
+        self.timeout_at = None
+        self.blocked_since_ns = None
         return True
 
     def __repr__(self) -> str:
@@ -200,15 +209,34 @@ class Simulation:
 
     def _pick_next(self) -> Optional[SimThread]:
         best: Optional[SimThread] = None
+        best_key: tuple[int, int] = (0, 0)
         for thread in self._threads:
-            if thread.state != _RUNNABLE:
+            if thread.state == _RUNNABLE:
+                key = (thread.wake_time, thread.seq)
+            elif thread.state == _BLOCKED and thread.timeout_at is not None:
+                # A timed wait competes for the turn at its expiry time; the
+                # scheduler expires it if nothing woke it first.
+                key = (thread.timeout_at, thread.seq)
+            else:
                 continue
-            if best is None or (thread.wake_time, thread.seq) < (
-                best.wake_time,
-                best.seq,
-            ):
+            if best is None or key < best_key:
                 best = thread
+                best_key = key
         return best
+
+    def _expire_timed_wait(self, thread: SimThread) -> None:
+        """Turn a timed-out futex wait into a wake-up flagged ``timed_out``."""
+        queue = self._futexes.get(thread.futex_key)
+        if queue is not None and thread in queue:
+            queue.remove(thread)
+            if not queue:
+                self._futexes.pop(thread.futex_key, None)
+        thread.state = _RUNNABLE
+        thread.wake_time = thread.timeout_at
+        thread.seq = self._next_seq()
+        thread.timed_out = True
+        thread.timeout_at = None
+        thread.blocked_since_ns = None
 
     def _live_non_daemon(self) -> list[SimThread]:
         return [t for t in self._threads if t.is_alive and not t.daemon]
@@ -231,6 +259,8 @@ class Simulation:
                         "no runnable thread; blocked: "
                         + ", ".join(repr(t) for t in blocked)
                     )
+                if nxt.state == _BLOCKED:
+                    self._expire_timed_wait(nxt)
                 self.clock.advance_to(nxt.wake_time)
                 self._current = nxt
                 self._sched_event.clear()
@@ -319,6 +349,7 @@ class Simulation:
         """Block the current thread until another thread wakes it."""
         current = self._require_thread("block")
         current.state = _BLOCKED
+        current.blocked_since_ns = self.clock.now_ns
         self._yield_turn(current)
 
     def _require_thread(self, what: str) -> SimThread:
@@ -330,11 +361,27 @@ class Simulation:
 
     # -- futexes -------------------------------------------------------------
 
-    def futex_wait(self, key: Any) -> None:
-        """Block the current thread on ``key`` until a matching wake."""
+    def futex_wait(self, key: Any, timeout_ns: Optional[int] = None) -> bool:
+        """Block the current thread on ``key`` until a matching wake.
+
+        With ``timeout_ns`` the wait is bounded in virtual time: if no wake
+        arrives by the deadline the scheduler expires the wait and the call
+        returns ``False`` (``True`` means a genuine wake).  Untimed waits
+        always return ``True``.
+        """
         current = self._require_thread("futex_wait")
         self._futexes.setdefault(key, []).append(current)
+        if timeout_ns is None:
+            self.block_current()
+            return True
+        current.timeout_at = self.clock.now_ns + int(timeout_ns)
+        current.timed_out = False
+        current.futex_key = key
         self.block_current()
+        woken = not current.timed_out
+        current.timed_out = False
+        current.futex_key = None
+        return woken
 
     def futex_wake(self, key: Any, count: int = 1) -> int:
         """Wake up to ``count`` threads blocked on ``key``; returns how many."""

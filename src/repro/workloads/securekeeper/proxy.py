@@ -21,14 +21,16 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.crypto.hmac import hkdf_like
-from repro.crypto.stream import STREAM_NS_PER_BYTE, stream_cost_ns, stream_xor
+from repro.crypto.stream import stream_cost_ns, stream_xor
 from repro.sdk.edger8r import EnclaveHandle, build_enclave
+from repro.sdk.errors import EnclaveLostError, SgxError
 from repro.sdk.trts import TrustedBuffer, TrustedContext
 from repro.sdk.urts import Urts
 from repro.sgx.device import SgxDevice
 from repro.sgx.enclave import EnclaveConfig
+from repro.sim.net import Listener, SimSocket, SocketTimeout
 from repro.sim.process import SimProcess
-from repro.workloads.securekeeper.zookeeper import ZkRequest, ZkResponse
+from repro.workloads.securekeeper.zookeeper import ZkRequest, ZkResponse, ZkServer
 
 ECALL_FROM_CLIENT = "sgx_ecall_handle_input_from_client"
 ECALL_FROM_ZOOKEEPER = "sgx_ecall_handle_input_from_zookeeper"
@@ -48,6 +50,41 @@ enclave {{
 
 MSG_CONNECT = 0
 MSG_REQUEST = 1
+
+# Networked front-end: the proxy's reply when the circuit breaker sheds a
+# request instead of handling it (clients treat it as retryable).
+SHED_REPLY = b"\x00SHED"
+
+
+def send_frame(sock: SimSocket, payload: bytes) -> None:
+    """Send one length-prefixed frame, looping through short writes."""
+    data = len(payload).to_bytes(4, "big") + payload
+    while data:
+        sent = sock.send(data)
+        data = data[sent:]
+
+
+def _recv_exact(sock: SimSocket, nbytes: int, allow_eof: bool) -> Optional[bytes]:
+    buf = b""
+    while len(buf) < nbytes:
+        data = sock.recv(nbytes - len(buf), blocking=True)
+        if data == b"":
+            if allow_eof and not buf:
+                return None
+            raise ConnectionError(f"{sock.name}: peer closed mid-frame")
+        buf += data
+    return buf
+
+
+def recv_frame(sock: SimSocket) -> Optional[bytes]:
+    """Receive one length-prefixed frame; ``None`` on clean EOF."""
+    header = _recv_exact(sock, 4, allow_eof=True)
+    if header is None:
+        return None
+    length = int.from_bytes(header, "big")
+    if length == 0:
+        return b""
+    return _recv_exact(sock, length, allow_eof=False)
 
 # In-enclave processing costs (parsing, queue management, bookkeeping) —
 # calibrated with the crypto costs so the two ecalls measure ≈14 µs and
@@ -204,7 +241,12 @@ class SecureKeeperProxy:
         self.sim = process.sim
         self.urts = Urts(process, device)
         self.trusted = SecureKeeperEnclave(master_key)
-        self.handle: EnclaveHandle = build_enclave(
+        self._tcs_count = tcs_count
+        self._resilient = None
+        self.handle: EnclaveHandle = self._build_handle()
+
+    def _build_handle(self) -> EnclaveHandle:
+        return build_enclave(
             self.urts,
             _EDL,
             trusted_impls={
@@ -221,11 +263,35 @@ class SecureKeeperProxy:
                 data_bytes=32 * 1024,
                 heap_bytes=2 * 1024 * 1024,
                 stack_bytes=128 * 1024,
-                tcs_count=tcs_count,
+                tcs_count=self._tcs_count,
                 debug=True,
             ),
             code_identity=b"securekeeper-proxy",
         )
+
+    def make_resilient(self, max_attempts: int = 5, backoff_ns: int = 100_000, logger=None):
+        """Route the two ecalls through a loss-surviving wrapper.
+
+        :class:`SecureKeeperEnclave` state (sessions, keys) lives outside
+        the enclave memory model, so a re-created enclave resumes proxying
+        without re-registering clients.  Idempotent; returns the
+        :class:`ResilientEnclave`.
+        """
+        from repro.sdk.resilience import ResilientEnclave
+
+        if self._resilient is None:
+            first = [self.handle]
+
+            def factory() -> EnclaveHandle:
+                if first:
+                    return first.pop()
+                self.handle = self._build_handle()
+                return self.handle
+
+            self._resilient = ResilientEnclave(
+                factory, max_attempts=max_attempts, backoff_ns=backoff_ns, logger=logger
+            )
+        return self._resilient
 
     def _ocall_print(self, uctx, msg: str, length: int) -> None:
         uctx.compute_jittered("sk:print", 2_300)
@@ -238,12 +304,103 @@ class SecureKeeperProxy:
 
     def input_from_client(self, packet: bytes) -> bytes:
         """Feed one client packet through the enclave."""
+        if self._resilient is not None:
+            return self._resilient.ecall(ECALL_FROM_CLIENT, packet, len(packet))
         return self.handle.ecall(ECALL_FROM_CLIENT, packet, len(packet))
 
     def input_from_zookeeper(self, packet: bytes) -> bytes:
         """Feed one ZooKeeper response through the enclave."""
+        if self._resilient is not None:
+            return self._resilient.ecall(ECALL_FROM_ZOOKEEPER, packet, len(packet))
         return self.handle.ecall(ECALL_FROM_ZOOKEEPER, packet, len(packet))
 
     def close(self) -> None:
         """Tear the enclave down."""
-        self.handle.destroy()
+        if self._resilient is not None:
+            self._resilient.destroy()
+        else:
+            self.handle.destroy()
+
+
+class SecureKeeperNetServer:
+    """Socket front-end for the proxy (chaos-mode serving path).
+
+    The paper's deployment terminates client connections in the untrusted
+    proxy process; this models that: length-prefixed packet frames over
+    simulated sockets, one handler thread per connection, the ZooKeeper
+    round-trip performed server-side.  A circuit breaker (optional) sheds
+    requests with :data:`SHED_REPLY` while open, and connection-level
+    failures are absorbed per connection instead of killing the server.
+
+    The default direct-call path (:meth:`SecureKeeperProxy.input_from_client`)
+    is untouched — this front-end is only built in chaos runs.
+    """
+
+    def __init__(
+        self,
+        proxy: SecureKeeperProxy,
+        listener: Listener,
+        zk: ZkServer,
+        breaker=None,
+        serving=None,
+    ) -> None:
+        self.proxy = proxy
+        self.listener = listener
+        self.zk = zk
+        self.breaker = breaker
+        self.serving = serving
+        self.stats = {"connections": 0, "frames": 0, "shed": 0, "failed": 0}
+
+    def serve_until_closed(self) -> dict:
+        """Accept connections until the listener closes."""
+        while True:
+            sock = self.listener.accept(blocking=True)
+            if sock is None:
+                return self.stats
+            self.stats["connections"] += 1
+            self.proxy.process.pthread_create(
+                self._handle_connection,
+                sock,
+                name=f"sk-conn-{self.stats['connections']}",
+            )
+
+    def _handle_connection(self, sock: SimSocket) -> None:
+        try:
+            while True:
+                frame = recv_frame(sock)
+                if frame is None:
+                    return
+                self.stats["frames"] += 1
+                if self.breaker is not None and not self.breaker.allow():
+                    self.stats["shed"] += 1
+                    if self.serving is not None:
+                        self.serving.record_shed(f"breaker open on {sock.name}")
+                    send_frame(sock, SHED_REPLY)
+                    continue
+                try:
+                    reply = self._process(frame)
+                except (SgxError, EnclaveLostError) as exc:
+                    # Unrecoverable enclave failure for this request: tell
+                    # the client to retry, count it against the breaker.
+                    self.stats["failed"] += 1
+                    if self.breaker is not None:
+                        self.breaker.record_failure()
+                    send_frame(sock, b"\x00ERR " + type(exc).__name__.encode())
+                    continue
+                if self.breaker is not None:
+                    self.breaker.record_success()
+                send_frame(sock, reply)
+        except (ConnectionError, SocketTimeout):
+            pass  # connection died (reset/partition); the client retries
+        finally:
+            sock.close()
+
+    def _process(self, packet: bytes) -> bytes:
+        proxy = self.proxy
+        if packet[4] == MSG_CONNECT:
+            return proxy.input_from_client(packet)
+        zk_bound = proxy.input_from_client(packet)
+        if zk_bound.startswith(b"\x00ERR"):
+            return zk_bound
+        raw_response = self.zk.handle(zk_bound[12:])
+        return proxy.input_from_zookeeper(zk_bound[:12] + raw_response)

@@ -1,0 +1,177 @@
+"""Serving-path resilience primitives shared by the networked workloads.
+
+The paper's serving experiments (TaLoS+nginx, SecureKeeper, §5) run happy
+paths; under the chaos plans of :mod:`repro.faults` a request can instead
+hit a connection reset, a stalled link, or a lost enclave mid-request.
+This module gives both workloads one vocabulary for surviving that:
+
+* :class:`RetryPolicy` — bounded attempts with exponential virtual-time
+  backoff, used by clients to reconnect and replay idempotent requests;
+* :class:`CircuitBreaker` — a closed/open/half-open breaker around a
+  server's request handler; while open, requests are *shed* instead of
+  queued behind a failing dependency;
+* :class:`ServingStats` — per-workload availability accounting
+  (successes, retries, shed and failed requests, latency percentiles),
+  optionally mirrored into the trace's ``faults`` table so the analyser
+  can report availability after the fact.
+
+Everything runs on the simulator's virtual clock and draws no randomness,
+so a seeded chaos campaign produces identical retry/shed sequences — and
+identical traces — on every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.sim.kernel import Simulation
+
+# Fault-table vocabulary for request-level accounting (``faults`` rows are
+# only written when a logger is wired in, so default runs are unchanged).
+SERVE_REQUEST = "serve:request"
+SERVE_RETRY = "serve:retry"
+SERVE_SHED = "serve:shed"
+SERVE_FAILED = "serve:failed"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential virtual-time backoff."""
+
+    max_attempts: int = 6
+    backoff_ns: int = 3_000_000
+    multiplier: float = 2.0
+
+    def backoff_for(self, attempt: int) -> int:
+        """Backoff to sleep before retry number ``attempt`` (1-based)."""
+        return int(self.backoff_ns * (self.multiplier ** (attempt - 1)))
+
+
+class CircuitBreaker:
+    """Closed/open/half-open breaker over a request handler.
+
+    ``failure_threshold`` consecutive failures open the breaker; while
+    open, :meth:`allow` returns ``False`` (the caller sheds the request)
+    until ``cooldown_ns`` of virtual time has passed, after which one
+    probe request is let through (half-open).  A probe success closes the
+    breaker, a probe failure re-opens it for another cooldown.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        sim: Simulation,
+        failure_threshold: int = 5,
+        cooldown_ns: int = 8_000_000,
+    ) -> None:
+        self.sim = sim
+        self.failure_threshold = failure_threshold
+        self.cooldown_ns = cooldown_ns
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.opened_count = 0
+        self._open_until_ns = 0
+
+    def allow(self) -> bool:
+        """Whether the next request may proceed (``False`` → shed it)."""
+        if self.state == self.OPEN:
+            if self.sim.now_ns < self._open_until_ns:
+                return False
+            self.state = self.HALF_OPEN
+        return True
+
+    def record_success(self) -> None:
+        """A handled request succeeded; close the breaker."""
+        self.consecutive_failures = 0
+        self.state = self.CLOSED
+
+    def record_failure(self) -> None:
+        """A handled request failed; maybe trip the breaker."""
+        self.consecutive_failures += 1
+        if (
+            self.state == self.HALF_OPEN
+            or self.consecutive_failures >= self.failure_threshold
+        ):
+            self.state = self.OPEN
+            self.opened_count += 1
+            self._open_until_ns = self.sim.now_ns + self.cooldown_ns
+
+
+class ServingStats:
+    """Availability accounting for one workload under (possible) chaos."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        workload: str,
+        logger: Optional[Any] = None,
+    ) -> None:
+        self.sim = sim
+        self.workload = workload
+        self.logger = logger
+        self.attempted = 0
+        self.succeeded = 0
+        self.retries = 0
+        self.shed = 0
+        self.failed = 0
+        self.latencies_ns: list[int] = []
+
+    def _row(self, kind: str, detail: str) -> None:
+        if self.logger is not None:
+            self.logger.record_fault(kind, enclave_id=0, call=self.workload, detail=detail)
+
+    def record_success(self, latency_ns: int) -> None:
+        """One request completed end to end after ``latency_ns``."""
+        self.attempted += 1
+        self.succeeded += 1
+        self.latencies_ns.append(latency_ns)
+        self._row(SERVE_REQUEST, f"ok +{latency_ns} ns")
+
+    def record_retry(self, reason: str) -> None:
+        """One attempt failed and will be retried."""
+        self.retries += 1
+        self._row(SERVE_RETRY, reason)
+
+    def record_shed(self, reason: str) -> None:
+        """The server refused a request (breaker open / overload)."""
+        self.shed += 1
+        self._row(SERVE_SHED, reason)
+
+    def record_failure(self, reason: str) -> None:
+        """One request exhausted its retries and was given up on."""
+        self.attempted += 1
+        self.failed += 1
+        self._row(SERVE_FAILED, reason)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of attempted requests that eventually succeeded."""
+        if self.attempted == 0:
+            return 1.0
+        return self.succeeded / self.attempted
+
+    def percentile_ns(self, pct: float) -> int:
+        """Latency percentile (nearest-rank) over successful requests."""
+        if not self.latencies_ns:
+            return 0
+        ordered = sorted(self.latencies_ns)
+        rank = max(0, min(len(ordered) - 1, int(round(pct / 100.0 * len(ordered))) - 1))
+        return ordered[rank]
+
+    def summary(self) -> dict:
+        """Availability summary for reports and campaign output."""
+        return {
+            "workload": self.workload,
+            "attempted": self.attempted,
+            "succeeded": self.succeeded,
+            "retries": self.retries,
+            "shed": self.shed,
+            "failed": self.failed,
+            "success_rate": self.success_rate,
+            "p50_ns": self.percentile_ns(50),
+            "p99_ns": self.percentile_ns(99),
+        }

@@ -12,7 +12,6 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from repro.sdk.edger8r import EnclaveHandle, build_enclave
-from repro.sdk.trts import TrustedContext
 from repro.sdk.urts import Urts
 from repro.sgx.device import SgxDevice
 from repro.sgx.enclave import EnclaveConfig
@@ -40,7 +39,11 @@ class TalosApp:
         self.library = MiniSslLibrary()
         self._fd_table: dict[int, list] = {}  # fd -> [socket, blocking]
         self._next_fd = 10
-        self.handle: EnclaveHandle = build_enclave(
+        self._resilient = None
+        self.handle: EnclaveHandle = self._build_handle()
+
+    def _build_handle(self) -> EnclaveHandle:
+        return build_enclave(
             self.urts,
             build_definition(),
             trusted_impls=self._trusted_impls(),
@@ -56,6 +59,30 @@ class TalosApp:
             ),
             code_identity=b"talos-libressl-2.4.1",
         )
+
+    def make_resilient(self, max_attempts: int = 5, backoff_ns: int = 100_000, logger=None):
+        """Route ecalls through a loss-surviving wrapper.
+
+        The TLS library state (:class:`MiniSslLibrary`) lives outside the
+        enclave memory model, so a re-created enclave picks sessions back
+        up — the replayed ecall is the only lost work.  Idempotent for a
+        given app; returns the :class:`ResilientEnclave`.
+        """
+        from repro.sdk.resilience import ResilientEnclave
+
+        if self._resilient is None:
+            first = [self.handle]
+
+            def factory() -> EnclaveHandle:
+                if first:
+                    return first.pop()
+                self.handle = self._build_handle()
+                return self.handle
+
+            self._resilient = ResilientEnclave(
+                factory, max_attempts=max_attempts, backoff_ns=backoff_ns, logger=logger
+            )
+        return self._resilient
 
     # -- fd registry --------------------------------------------------------
 
@@ -183,10 +210,15 @@ class TalosApp:
 
     def ecall(self, name: str, *args):
         """Issue one TaLoS ecall by OpenSSL name (without the prefix)."""
+        if self._resilient is not None:
+            return self._resilient.ecall(f"sgx_ecall_{name}", *args)
         return self.handle.ecall(f"sgx_ecall_{name}", *args)
 
     def close(self) -> None:
         """Destroy the enclave and close registered sockets."""
         for fd in list(self._fd_table):
             self.close_fd(fd)
-        self.handle.destroy()
+        if self._resilient is not None:
+            self._resilient.destroy()
+        else:
+            self.handle.destroy()

@@ -13,11 +13,12 @@ real network does.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.crypto.hmac import hmac_sha256
 from repro.crypto.stream import stream_xor
 from repro.sim.kernel import Simulation
-from repro.sim.net import Listener, SimSocket
+from repro.sim.net import Listener, SimSocket, SocketClosed, SocketTimeout
 from repro.workloads.talos.minissl import (
     FT_APP_DATA,
     FT_CLIENT_HELLO,
@@ -49,19 +50,61 @@ class ClientStats:
 
 
 class TalosCurlClient:
-    """Sequential HTTPS client issuing one GET per fresh connection."""
+    """Sequential HTTPS client issuing one GET per fresh connection.
 
-    def __init__(self, sim: Simulation, listener: Listener, seed_tag: str = "curl") -> None:
+    ``retry`` (a :class:`repro.workloads.serving.RetryPolicy`) arms the
+    chaos-mode path: a request that dies to a reset, timeout or protocol
+    violation reconnects with exponential virtual-time backoff and is
+    replayed (GETs are idempotent).  ``timeout_ns`` bounds each blocking
+    read.  Both default to ``None``, leaving the original single-attempt
+    behaviour — and its trace — untouched.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        listener: Listener,
+        seed_tag: str = "curl",
+        retry: Optional[object] = None,
+        serving: Optional[object] = None,
+        timeout_ns: Optional[int] = None,
+    ) -> None:
         self.sim = sim
         self.listener = listener
         self.stats = ClientStats()
+        self.retry = retry
+        self.serving = serving
+        self.timeout_ns = timeout_ns
         self._rng = sim.rng.stream(f"talos:{seed_tag}")
 
     def run(self, request_count: int) -> ClientStats:
         """Issue ``request_count`` sequential requests."""
         for index in range(request_count):
-            self._one_request(index)
+            if self.retry is None:
+                self._one_request(index)
+            else:
+                self._one_request_with_retry(index)
         return self.stats
+
+    def _one_request_with_retry(self, index: int) -> None:
+        start = self.sim.now_ns
+        for attempt in range(1, self.retry.max_attempts + 1):
+            try:
+                self._one_request(index)
+            except (SocketClosed, SocketTimeout, TlsClientError) as exc:
+                if attempt == self.retry.max_attempts:
+                    if self.serving is not None:
+                        self.serving.record_failure(f"request {index}: {exc}")
+                    return
+                if self.serving is not None:
+                    self.serving.record_retry(
+                        f"request {index} attempt {attempt}: {type(exc).__name__}"
+                    )
+                self.sim.compute(self.retry.backoff_for(attempt))
+            else:
+                if self.serving is not None:
+                    self.serving.record_success(self.sim.now_ns - start)
+                return
 
     # -- internals -----------------------------------------------------------
 
@@ -77,8 +120,19 @@ class TalosCurlClient:
         return collected
 
     def _one_request(self, index: int) -> None:
-        sim = self.sim
         sock = self.listener.connect()
+        if self.timeout_ns is not None:
+            sock.settimeout(self.timeout_ns)
+        try:
+            self._exchange(sock, index)
+        except BaseException:
+            # Abandoning a half-done exchange must not leave the server
+            # parked in a blocking read: close our end so it observes EOF.
+            sock.close()
+            raise
+
+    def _exchange(self, sock: SimSocket, index: int) -> None:
+        sim = self.sim
         buffer = bytearray()
         client_random = bytes(self._rng.randrange(256) for _ in range(32))
         pre_master = bytes(self._rng.randrange(256) for _ in range(32))
@@ -127,7 +181,13 @@ class TalosCurlClient:
         if not response.startswith(b"HTTP/1.1 200 OK"):
             raise TlsClientError(f"bad response prefix: {response[:40]!r}")
         header, _, body = response.partition(b"\r\n\r\n")
-        expected = int(header.split(b"Content-Length: ")[1].split(b"\r\n")[0])
+        marker = b"Content-Length: "
+        if marker not in header:
+            raise TlsClientError("response header missing Content-Length (truncated?)")
+        try:
+            expected = int(header.split(marker)[1].split(b"\r\n")[0])
+        except ValueError as exc:
+            raise TlsClientError(f"unparseable Content-Length: {exc}") from None
         if len(body) != expected:
             raise TlsClientError(f"body length {len(body)} != {expected}")
         self.stats.requests += 1

@@ -17,7 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.sim.net import Listener
+from repro.sdk.errors import EnclaveLostError, SgxError
+from repro.sim.net import Listener, SocketTimeout
 from repro.workloads.talos.api import PERIODIC_ECALLS
 from repro.workloads.talos.app import TalosApp
 from repro.workloads.talos.minissl import SSL_ERROR_WANT_READ, SSL_ERROR_ZERO_RETURN
@@ -36,16 +37,33 @@ class ServerStats:
     handshakes_failed: int = 0
     bytes_served: int = 0
     want_read_polls: int = 0
+    connections_failed: int = 0
+    connections_shed: int = 0
 
 
 class TalosNginx:
-    """Sequential accept-and-serve loop (one worker, like the benchmark)."""
+    """Sequential accept-and-serve loop (one worker, like the benchmark).
 
-    def __init__(self, app: TalosApp, listener: Listener) -> None:
+    ``breaker``/``serving`` arm the chaos-mode serving path: connections
+    are shed while the circuit breaker is open, and connection-level
+    failures (resets, timeouts, lost enclaves) are absorbed instead of
+    killing the worker.  Both default to ``None``, leaving the original
+    happy-path loop untouched.
+    """
+
+    def __init__(
+        self,
+        app: TalosApp,
+        listener: Listener,
+        breaker: Optional[object] = None,
+        serving: Optional[object] = None,
+    ) -> None:
         self.app = app
         self.listener = listener
         self.sim = app.sim
         self.stats = ServerStats()
+        self.breaker = breaker
+        self.serving = serving
         self._response_cache = self._build_response()
 
     def _build_response(self) -> bytes:
@@ -65,6 +83,41 @@ class TalosNginx:
                 break
             self._serve_connection(sock, index)
         return self.stats
+
+    def serve_until_closed(self) -> ServerStats:
+        """Chaos-mode loop: accept until the listener closes, absorb faults.
+
+        Client retries make the connection count unpredictable, so the
+        client signals completion by closing the listener.  While the
+        circuit breaker is open, accepted connections are shed (closed
+        immediately) instead of queueing behind a failing backend.
+        """
+        index = 0
+        while True:
+            sock = self.listener.accept(blocking=True)
+            if sock is None:
+                return self.stats
+            if self.breaker is not None and not self.breaker.allow():
+                self.stats.connections_shed += 1
+                if self.serving is not None:
+                    self.serving.record_shed(f"breaker open, connection {index}")
+                sock.close()
+                index += 1
+                continue
+            try:
+                self._serve_connection(sock, index)
+            except (ConnectionError, SocketTimeout, SgxError, EnclaveLostError):
+                # The connection died under us (reset, partition timeout,
+                # unrecoverable enclave failure): drop it, count it, keep
+                # serving.
+                self.stats.connections_failed += 1
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                sock.close()
+            else:
+                if self.breaker is not None:
+                    self.breaker.record_success()
+            index += 1
 
     # -- one connection -----------------------------------------------------
 

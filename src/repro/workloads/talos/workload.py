@@ -57,3 +57,78 @@ def run_talos_nginx(
         server=server.stats,
         client=client.stats,
     )
+
+
+@dataclass
+class TalosChaosResult:
+    """Outcome of one TaLoS+nginx run under a chaos plan."""
+
+    availability: dict
+    server: ServerStats
+    client: ClientStats
+    injected: int
+    virtual_seconds: float
+
+
+def run_talos_chaos(
+    requests: int = 200,
+    seed: int = 0,
+    plan=None,
+    process: Optional[SimProcess] = None,
+    device: Optional[SgxDevice] = None,
+    app: Optional[TalosApp] = None,
+    logger=None,
+    # Tighter than the watchdog's 50 ms ecall deadline: a wedged exchange
+    # (e.g. a truncated handshake frame) must resolve via client timeout
+    # and retry before the watchdog declares the server ecall hung.
+    client_timeout_ns: int = 20_000_000,
+    watchdog: bool = False,
+) -> TalosChaosResult:
+    """Serve HTTPS GETs through TaLoS under a network/fault chaos ``plan``.
+
+    The full serving-path resilience stack is armed: seeded socket chaos
+    via the fault injector, client reconnect-and-retry with read
+    deadlines, a circuit breaker + load shedding around the server loop,
+    and enclave-loss recovery through :class:`ResilientEnclave`.  With
+    ``watchdog=True`` a virtual-time hang watchdog guards the run.
+    """
+    from repro.faults import FaultInjector, FaultPlan
+    from repro.faults.watchdog import HangWatchdog
+    from repro.workloads.serving import CircuitBreaker, RetryPolicy, ServingStats
+
+    process = process or SimProcess(seed=seed)
+    device = device or SgxDevice(process.sim)
+    sim = process.sim
+    app = app or TalosApp(process, device)
+    app.make_resilient(logger=logger)
+    injector = FaultInjector(plan or FaultPlan.disabled(), sim, logger=logger)
+    injector.attach(app.urts)
+    listener = Listener(sim, "nginx:443")
+    injector.attach_network(listener)
+    serving = ServingStats(sim, "talos", logger=logger)
+    server = TalosNginx(app, listener, breaker=CircuitBreaker(sim), serving=serving)
+    client = TalosCurlClient(
+        sim,
+        listener,
+        retry=RetryPolicy(),
+        serving=serving,
+        timeout_ns=client_timeout_ns,
+    )
+    if watchdog:
+        HangWatchdog(sim, app.urts, logger=logger).arm()
+
+    def client_main() -> None:
+        client.run(requests)
+        listener.close()  # completion signal for serve_until_closed
+
+    start = sim.now_ns
+    process.pthread_create(server.serve_until_closed, name="nginx-worker")
+    process.pthread_create(client_main, name="curl")
+    sim.run()
+    return TalosChaosResult(
+        availability=serving.summary(),
+        server=server.stats,
+        client=client.stats,
+        injected=injector.total_injected,
+        virtual_seconds=(sim.now_ns - start) / 1e9,
+    )

@@ -1,0 +1,226 @@
+"""Hang watchdog: deterministic deadlock / lost-wakeup / stuck-ecall detection."""
+
+import pytest
+
+from repro.faults.watchdog import (
+    WATCHDOG_DEADLOCK,
+    WATCHDOG_ECALL_TIMEOUT,
+    WATCHDOG_LOST_WAKEUP,
+    HangWatchdog,
+    WatchdogHangError,
+)
+from repro.sdk.edger8r import build_enclave
+from repro.sdk.urts import Urts
+from repro.sgx.device import SgxDevice
+from repro.sgx.enclave import EnclaveConfig
+from repro.sim.process import SimProcess
+
+EDL = """
+enclave {
+    trusted {
+        public int ecall_ab(long hold_ns);
+        public int ecall_ba(long hold_ns);
+        public int ecall_wait(void);
+        public int ecall_signal(void);
+        public int ecall_spin(long ns);
+    };
+    untrusted { };
+};
+"""
+
+
+class HangApp:
+    """An enclave whose entry points can be driven into every hang class."""
+
+    def __init__(self, seed=0):
+        self.process = SimProcess(seed=seed)
+        self.device = SgxDevice(self.process.sim)
+        self.urts = Urts(self.process, self.device)
+        self.handle = build_enclave(
+            self.urts,
+            EDL,
+            {
+                "ecall_ab": self.ecall_ab,
+                "ecall_ba": self.ecall_ba,
+                "ecall_wait": self.ecall_wait,
+                "ecall_signal": self.ecall_signal,
+                "ecall_spin": self.ecall_spin,
+            },
+            config=EnclaveConfig(tcs_count=8, heap_bytes=64 * 1024),
+        )
+        runtime = self.urts.runtime(self.handle.enclave_id)
+        self.mutex_a = runtime.mutex("a")
+        self.mutex_b = runtime.mutex("b")
+        self.cond = runtime.condvar("c")
+
+    def ecall_ab(self, ctx, hold_ns):
+        self.mutex_a.lock(ctx)
+        ctx.compute(int(hold_ns))
+        self.mutex_b.lock(ctx)
+        self.mutex_b.unlock(ctx)
+        self.mutex_a.unlock(ctx)
+        return 0
+
+    def ecall_ba(self, ctx, hold_ns):
+        self.mutex_b.lock(ctx)
+        ctx.compute(int(hold_ns))
+        self.mutex_a.lock(ctx)
+        self.mutex_a.unlock(ctx)
+        self.mutex_b.unlock(ctx)
+        return 0
+
+    def ecall_wait(self, ctx):
+        self.mutex_a.lock(ctx)
+        self.cond.wait(ctx, self.mutex_a)
+        self.mutex_a.unlock(ctx)
+        return 0
+
+    def ecall_signal(self, ctx):
+        self.cond.signal(ctx)
+        return 0
+
+    def ecall_spin(self, ctx, ns):
+        ctx.compute(int(ns))
+        return 0
+
+
+def _provoke_deadlock(app):
+    """Two threads take the mutexes in opposite order and wedge."""
+    sim = app.process.sim
+    sim.spawn(lambda: app.handle.ecall("ecall_ab", 50_000), name="ab")
+    sim.spawn(lambda: app.handle.ecall("ecall_ba", 50_000), name="ba")
+
+
+class TestDeadlockDetection:
+    def test_lock_cycle_is_detected_and_raised(self):
+        app = HangApp()
+        watchdog = HangWatchdog(
+            app.process.sim, app.urts, check_interval_ns=100_000
+        ).arm()
+        _provoke_deadlock(app)
+        with pytest.raises(WatchdogHangError) as excinfo:
+            app.process.sim.run()
+        assert excinfo.value.kind == WATCHDOG_DEADLOCK
+        assert "lock cycle" in excinfo.value.detail
+        assert [d.kind for d in watchdog.detections] == [WATCHDOG_DEADLOCK]
+
+    def test_detection_time_is_deterministic(self):
+        times = []
+        for _ in range(2):
+            app = HangApp(seed=5)
+            watchdog = HangWatchdog(
+                app.process.sim, app.urts, check_interval_ns=100_000
+            ).arm()
+            _provoke_deadlock(app)
+            with pytest.raises(WatchdogHangError):
+                app.process.sim.run()
+            times.append(watchdog.detections[0].timestamp_ns)
+        assert times[0] == times[1]
+
+    def test_opposite_order_without_overlap_is_clean(self):
+        app = HangApp()
+        sim = app.process.sim
+        watchdog = HangWatchdog(sim, app.urts, check_interval_ns=100_000).arm()
+
+        def sequential():
+            app.handle.ecall("ecall_ab", 1_000)
+            app.handle.ecall("ecall_ba", 1_000)
+
+        sim.spawn(sequential)
+        sim.run()
+        assert watchdog.detections == []
+
+
+class TestLostWakeupDetection:
+    def test_unsignalled_cond_wait_is_detected(self):
+        app = HangApp()
+        sim = app.process.sim
+        watchdog = HangWatchdog(
+            sim,
+            app.urts,
+            check_interval_ns=100_000,
+            sync_deadline_ns=2_000_000,
+        ).arm()
+        sim.spawn(lambda: app.handle.ecall("ecall_wait"), name="waiter")
+        with pytest.raises(WatchdogHangError) as excinfo:
+            sim.run()
+        assert excinfo.value.kind == WATCHDOG_LOST_WAKEUP
+        assert watchdog.detections[0].kind == WATCHDOG_LOST_WAKEUP
+
+    def test_record_mode_logs_late_wakeup_and_completes(self):
+        # The signal arrives after the sync deadline: record mode flags the
+        # (apparent) lost wakeup but lets the run finish normally.
+        app = HangApp()
+        sim = app.process.sim
+        watchdog = HangWatchdog(
+            sim,
+            app.urts,
+            check_interval_ns=100_000,
+            sync_deadline_ns=2_000_000,
+            mode="record",
+        ).arm()
+        sim.spawn(lambda: app.handle.ecall("ecall_wait"), name="waiter")
+
+        def late_rescuer():
+            sim.compute(5_000_000)
+            app.handle.ecall("ecall_signal")
+
+        sim.spawn(late_rescuer, name="rescuer")
+        sim.run()
+        assert [d.kind for d in watchdog.detections] == [WATCHDOG_LOST_WAKEUP]
+
+    def test_promptly_signalled_wait_is_clean(self):
+        app = HangApp()
+        sim = app.process.sim
+        watchdog = HangWatchdog(
+            sim,
+            app.urts,
+            check_interval_ns=100_000,
+            sync_deadline_ns=2_000_000,
+        ).arm()
+        sim.spawn(lambda: app.handle.ecall("ecall_wait"), name="waiter")
+
+        def rescuer():
+            sim.compute(500_000)
+            app.handle.ecall("ecall_signal")
+
+        sim.spawn(rescuer, name="rescuer")
+        sim.run()
+        assert watchdog.detections == []
+
+
+class TestEcallTimeout:
+    def test_overlong_ecall_is_detected(self):
+        app = HangApp()
+        sim = app.process.sim
+        HangWatchdog(
+            sim,
+            app.urts,
+            check_interval_ns=100_000,
+            ecall_deadline_ns=3_000_000,
+        ).arm()
+        sim.spawn(lambda: app.handle.ecall("ecall_spin", 50_000_000), name="spinner")
+        with pytest.raises(WatchdogHangError) as excinfo:
+            sim.run()
+        assert excinfo.value.kind == WATCHDOG_ECALL_TIMEOUT
+        assert "ecall_spin" in excinfo.value.detail
+
+    def test_repeated_short_ecalls_do_not_accumulate(self):
+        # Each new ecall frame in the same (tid, depth) slot restarts the
+        # deadline clock; many short calls never look like one long one.
+        app = HangApp()
+        sim = app.process.sim
+        watchdog = HangWatchdog(
+            sim,
+            app.urts,
+            check_interval_ns=100_000,
+            ecall_deadline_ns=3_000_000,
+        ).arm()
+
+        def churn():
+            for _ in range(30):
+                app.handle.ecall("ecall_spin", 400_000)
+
+        sim.spawn(churn)
+        sim.run()
+        assert watchdog.detections == []

@@ -235,3 +235,148 @@ def test_sync_ocall_names_match_edger8r():
     assert sync._WAIT in SYNC_OCALL_NAMES
     assert sync._SET in SYNC_OCALL_NAMES
     assert sync._SET_MULTIPLE in SYNC_OCALL_NAMES
+
+
+def _count_sync_ocalls(app):
+    """Wrap ocall dispatch to count sleep/wake ocalls by name."""
+    counts = {}
+    real = app.urts.dispatch_ocall
+
+    def counting(runtime, index, args):
+        name = runtime.definition.ocalls[index].name
+        counts[name] = counts.get(name, 0) + 1
+        return real(runtime, index, args)
+
+    app.urts.dispatch_ocall = counting
+    return counts
+
+
+class TestContentionDeterminism:
+    def _acquisition_order(self, seed):
+        app = App(seed=seed, mutex_factory=lambda rt: HybridMutex(rt, "m", spin_iterations=4))
+        sim = app.process.sim
+        order = []
+
+        def instrumented(ctx, hold_ns):
+            app.mutex.lock(ctx)
+            order.append(sim.current_thread.name)
+            ctx.compute(int(hold_ns))
+            app.mutex.unlock(ctx)
+            return 0
+
+        app.urts.runtime(app.handle.enclave_id).bridge._impls[0] = instrumented
+
+        def worker():
+            for _ in range(6):
+                app.handle.ecall("ecall_critical", 40_000)
+
+        for i in range(4):
+            sim.spawn(worker, name=f"w{i}")
+        sim.run()
+        assert app.mutex.stats["lock_slept"] > 0  # contention actually happened
+        return order
+
+    def test_multithread_contention_wake_order_is_deterministic(self):
+        first = self._acquisition_order(seed=3)
+        second = self._acquisition_order(seed=3)
+        assert first == second
+        assert len(first) == 4 * 6
+
+    def test_hybrid_spin_never_double_issues_sleep_ocall(self):
+        app = App(mutex_factory=lambda rt: HybridMutex(rt, "m", spin_iterations=4))
+        counts = _count_sync_ocalls(app)
+        sim = app.process.sim
+
+        def worker():
+            for _ in range(5):
+                app.handle.ecall("ecall_critical", 150_000)
+
+        for i in range(3):
+            sim.spawn(worker, name=f"w{i}")
+        sim.run()
+        from repro.sdk.sync import _SET, _WAIT
+
+        # Every slept acquisition issued its sleep ocall exactly once; spun
+        # acquisitions issued none.  Wakes pair one-to-one with sleeps.
+        assert app.mutex.stats["lock_slept"] > 0
+        assert counts.get(_WAIT, 0) == app.mutex.stats["lock_slept"]
+        assert counts.get(_SET, 0) == app.mutex.stats["wake_ocalls"]
+
+
+class TestBroadcastOrdering:
+    def _broadcast_wake_order(self, seed):
+        app = App(seed=seed)
+        sim = app.process.sim
+        woken = []
+
+        def waiter(i):
+            sim.compute(i * 1_000)  # enqueue on the condvar in a known order
+            app.handle.ecall("ecall_wait")
+            woken.append(i)
+
+        def broadcaster():
+            sim.compute(100_000)
+            assert app.cond.queued_tokens() == tuple(sorted(app.cond.queued_tokens()))
+            app.handle.ecall("ecall_broadcast")
+
+        for i in range(4):
+            sim.spawn(waiter, i)
+        sim.spawn(broadcaster)
+        sim.run()
+        return woken
+
+    def test_broadcast_wake_ocall_carries_waiters_in_wait_order(self):
+        # The *wake multiple* ocall lists waiters FIFO — in the order they
+        # waited — even though relock contention may reorder completion.
+        app = App()
+        sim = app.process.sim
+        snapshots = {}
+        real = app.urts.dispatch_ocall
+
+        def spying(runtime, index, args):
+            from repro.sdk.sync import _SET_MULTIPLE
+
+            if runtime.definition.ocalls[index].name == _SET_MULTIPLE:
+                snapshots["waiters"] = args[0]
+            return real(runtime, index, args)
+
+        app.urts.dispatch_ocall = spying
+        waited = []
+
+        def waiter(i):
+            sim.compute(i * 1_000)
+            waited.append(app.urts.current_thread_token())
+            app.handle.ecall("ecall_wait")
+
+        def broadcaster():
+            sim.compute(100_000)
+            app.handle.ecall("ecall_broadcast")
+
+        for i in range(4):
+            sim.spawn(waiter, i)
+        sim.spawn(broadcaster)
+        sim.run()
+        assert tuple(snapshots["waiters"]) == tuple(waited)
+
+    def test_broadcast_wake_order_is_deterministic(self):
+        assert self._broadcast_wake_order(seed=9) == self._broadcast_wake_order(seed=9)
+
+    def test_broadcast_uses_single_multiple_wake_ocall(self):
+        app = App()
+        counts = _count_sync_ocalls(app)
+        sim = app.process.sim
+
+        def waiter():
+            app.handle.ecall("ecall_wait")
+
+        def broadcaster():
+            sim.compute(50_000)
+            app.handle.ecall("ecall_broadcast")
+
+        for _ in range(3):
+            sim.spawn(waiter)
+        sim.spawn(broadcaster)
+        sim.run()
+        from repro.sdk.sync import _SET_MULTIPLE
+
+        assert counts.get(_SET_MULTIPLE, 0) == 1

@@ -212,3 +212,73 @@ class TestFutex:
         sim.spawn(waiter)
         sim.spawn(checker)
         sim.run()
+
+
+class TestTimedFutexWait:
+    def test_timed_wait_returns_false_at_deadline(self):
+        sim = Simulation()
+        results = []
+
+        def waiter():
+            start = sim.now_ns
+            woke = sim.futex_wait("never-signalled", timeout_ns=7_000)
+            results.append((woke, sim.now_ns - start))
+
+        sim.spawn(waiter)
+        sim.run()
+        assert results == [(False, 7_000)]
+
+    def test_timed_wait_returns_true_on_genuine_wake(self):
+        sim = Simulation()
+        results = []
+
+        def waiter():
+            results.append(sim.futex_wait("k", timeout_ns=1_000_000))
+
+        def waker():
+            sim.compute(1_000)
+            sim.futex_wake("k")
+
+        sim.spawn(waiter)
+        sim.spawn(waker)
+        sim.run()
+        assert results == [True]
+        assert sim.now_ns < 1_000_000  # woke early, did not sit out the timeout
+
+    def test_expired_waiter_leaves_futex_queue(self):
+        # After a timeout the thread must not linger in the wait queue and
+        # absorb a later wake meant for another waiter.
+        sim = Simulation()
+        order = []
+
+        def impatient():
+            order.append(("impatient", sim.futex_wait("k", timeout_ns=100)))
+
+        def patient():
+            sim.compute(50)
+            order.append(("patient", sim.futex_wait("k")))
+
+        def waker():
+            sim.compute(10_000)
+            assert sim.futex_waiters("k") == 1  # only the patient one left
+            sim.futex_wake("k")
+
+        sim.spawn(impatient)
+        sim.spawn(patient)
+        sim.spawn(waker)
+        sim.run()
+        assert order == [("impatient", False), ("patient", True)]
+
+    def test_timed_waits_expire_in_deadline_order(self):
+        sim = Simulation()
+        order = []
+
+        def waiter(tag, timeout):
+            sim.futex_wait(f"k{tag}", timeout_ns=timeout)
+            order.append(tag)
+
+        sim.spawn(waiter, "late", 9_000)
+        sim.spawn(waiter, "early", 3_000)
+        sim.run()
+        assert order == ["early", "late"]
+        assert sim.now_ns == 9_000

@@ -3,7 +3,13 @@
 import pytest
 
 from repro.sim.kernel import Simulation
-from repro.sim.net import Listener, SocketClosed, socket_pair
+from repro.sim.net import (
+    Listener,
+    SocketClosed,
+    SocketTimeout,
+    SocketUsageError,
+    socket_pair,
+)
 
 
 def test_send_recv_roundtrip():
@@ -156,3 +162,148 @@ class TestListener:
         sim.spawn(server)
         sim.run()
         assert len(accepted) == 3
+
+
+class TestCloseSemantics:
+    def test_close_is_idempotent(self):
+        sim = Simulation()
+        a, b = socket_pair(sim)
+        a.close()
+        a.close()  # second close is a no-op, not an error
+        assert a.closed
+
+    def test_close_wakes_reader_on_own_endpoint_with_peer_name(self):
+        # A reader parked on the socket being closed (not the peer) is
+        # woken deterministically and told which peer the socket spoke to.
+        sim = Simulation()
+        a, b = socket_pair(sim, name="web")
+        errors = []
+
+        def reader():
+            try:
+                b.recv(10, blocking=True)
+            except SocketClosed as exc:
+                errors.append(exc)
+
+        def closer():
+            sim.compute(500)
+            b.close()
+
+        sim.spawn(reader)
+        sim.spawn(closer)
+        sim.run()
+        assert len(errors) == 1
+        assert errors[0].peer == "web:client"
+        assert "web:client" in str(errors[0])
+
+    def test_close_wakes_multiple_blocked_readers(self):
+        sim = Simulation()
+        a, b = socket_pair(sim)
+        outcomes = []
+
+        def reader(tag):
+            try:
+                outcomes.append((tag, b.recv(10, blocking=True)))
+            except SocketClosed:
+                outcomes.append((tag, "closed"))
+
+        for tag in range(3):
+            sim.spawn(reader, tag)
+
+        def closer():
+            sim.compute(500)
+            b.close()
+
+        sim.spawn(closer)
+        sim.run()
+        assert sorted(outcomes) == [(0, "closed"), (1, "closed"), (2, "closed")]
+
+
+class TestUsageErrors:
+    def test_zero_length_send_rejected(self):
+        sim = Simulation()
+        a, b = socket_pair(sim)
+        with pytest.raises(SocketUsageError):
+            a.send(b"")
+
+    def test_negative_length_recv_rejected(self):
+        sim = Simulation()
+        a, b = socket_pair(sim)
+        with pytest.raises(SocketUsageError):
+            b.recv(-1)
+
+    def test_zero_length_recv_rejected(self):
+        sim = Simulation()
+        a, b = socket_pair(sim)
+        with pytest.raises(SocketUsageError):
+            b.recv(0)
+
+    def test_usage_error_is_value_error(self):
+        # Typed but catchable as ValueError by generic callers.
+        assert issubclass(SocketUsageError, ValueError)
+
+
+class TestTimeouts:
+    def test_recv_timeout_raises_at_deadline(self):
+        sim = Simulation()
+        a, b = socket_pair(sim)
+        seen = {}
+
+        def reader():
+            start = sim.now_ns
+            try:
+                b.recv(10, blocking=True, timeout_ns=5_000)
+            except SocketTimeout:
+                seen["elapsed"] = sim.now_ns - start
+
+        sim.spawn(reader)
+        sim.run()
+        assert seen["elapsed"] >= 5_000
+
+    def test_settimeout_applies_to_recv(self):
+        sim = Simulation()
+        a, b = socket_pair(sim)
+        b.settimeout(3_000)
+        raised = []
+
+        def reader():
+            try:
+                b.recv(10, blocking=True)
+            except SocketTimeout:
+                raised.append(True)
+
+        sim.spawn(reader)
+        sim.run()
+        assert raised == [True]
+
+    def test_recv_returns_data_arriving_before_deadline(self):
+        sim = Simulation()
+        a, b = socket_pair(sim)
+        got = []
+
+        def reader():
+            got.append(b.recv(10, blocking=True, timeout_ns=1_000_000))
+
+        def writer():
+            sim.compute(10_000)
+            a.send(b"late")
+
+        sim.spawn(reader)
+        sim.spawn(writer)
+        sim.run()
+        assert got == [b"late"]
+
+    def test_accept_timeout(self):
+        sim = Simulation()
+        listener = Listener(sim)
+        raised = []
+
+        def server():
+            try:
+                listener.accept(blocking=True, timeout_ns=2_000)
+            except SocketTimeout:
+                raised.append(sim.now_ns)
+
+        sim.spawn(server)
+        sim.run()
+        assert raised and raised[0] >= 2_000

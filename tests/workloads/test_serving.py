@@ -1,0 +1,139 @@
+"""Serving-path resilience primitives: retry policy, breaker, stats."""
+
+from repro.sim.kernel import Simulation
+from repro.workloads.serving import (
+    SERVE_FAILED,
+    SERVE_REQUEST,
+    SERVE_RETRY,
+    SERVE_SHED,
+    CircuitBreaker,
+    RetryPolicy,
+    ServingStats,
+)
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(max_attempts=4, backoff_ns=1_000, multiplier=2.0)
+        assert policy.backoff_for(1) == 1_000
+        assert policy.backoff_for(2) == 2_000
+        assert policy.backoff_for(3) == 4_000
+
+    def test_unit_multiplier_is_constant_backoff(self):
+        policy = RetryPolicy(backoff_ns=500, multiplier=1.0)
+        assert policy.backoff_for(1) == policy.backoff_for(5) == 500
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        sim = Simulation()
+        breaker = CircuitBreaker(sim, failure_threshold=3, cooldown_ns=1_000)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.opened_count == 1
+
+    def test_success_resets_failure_streak(self):
+        sim = Simulation()
+        breaker = CircuitBreaker(sim, failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_sheds_while_open_then_probes_after_cooldown(self):
+        sim = Simulation()
+        breaker = CircuitBreaker(sim, failure_threshold=1, cooldown_ns=10_000)
+        breaker.record_failure()
+        assert not breaker.allow()  # open: shed
+
+        def wait_out_cooldown():
+            sim.compute(20_000)
+            assert breaker.allow()  # half-open: one probe goes through
+            assert breaker.state == CircuitBreaker.HALF_OPEN
+
+        sim.spawn(wait_out_cooldown)
+        sim.run()
+
+    def test_probe_success_closes_probe_failure_reopens(self):
+        sim = Simulation()
+        breaker = CircuitBreaker(sim, failure_threshold=1, cooldown_ns=10_000)
+
+        def scenario():
+            breaker.record_failure()
+            sim.compute(20_000)
+            assert breaker.allow()
+            breaker.record_failure()  # probe failed
+            assert breaker.state == CircuitBreaker.OPEN
+            assert breaker.opened_count == 2
+            sim.compute(20_000)
+            assert breaker.allow()
+            breaker.record_success()  # probe succeeded
+            assert breaker.state == CircuitBreaker.CLOSED
+            assert breaker.allow()
+
+        sim.spawn(scenario)
+        sim.run()
+
+
+class _FaultLog:
+    def __init__(self):
+        self.rows = []
+
+    def record_fault(self, kind, enclave_id=0, call="", detail=""):
+        self.rows.append((kind, call, detail))
+
+
+class TestServingStats:
+    def test_counts_and_success_rate(self):
+        stats = ServingStats(Simulation(), "w")
+        stats.record_success(100)
+        stats.record_success(200)
+        stats.record_retry("reset")
+        stats.record_failure("gave up")
+        assert stats.attempted == 3
+        assert stats.succeeded == 2
+        assert stats.retries == 1
+        assert abs(stats.success_rate - 2 / 3) < 1e-9
+
+    def test_empty_stats_report_perfect_rate(self):
+        stats = ServingStats(Simulation(), "w")
+        assert stats.success_rate == 1.0
+        assert stats.percentile_ns(99) == 0
+
+    def test_percentiles_nearest_rank(self):
+        stats = ServingStats(Simulation(), "w")
+        for latency in [10, 20, 30, 40, 50, 60, 70, 80, 90, 100]:
+            stats.record_success(latency)
+        assert stats.percentile_ns(50) == 50
+        assert stats.percentile_ns(99) == 100
+
+    def test_summary_shape(self):
+        stats = ServingStats(Simulation(), "talos")
+        stats.record_success(1_000)
+        stats.record_shed("breaker open")
+        summary = stats.summary()
+        assert summary["workload"] == "talos"
+        assert summary["attempted"] == 1
+        assert summary["shed"] == 1
+        assert summary["success_rate"] == 1.0
+        assert summary["p50_ns"] == 1_000
+
+    def test_rows_mirrored_into_fault_log(self):
+        log = _FaultLog()
+        stats = ServingStats(Simulation(), "w", logger=log)
+        stats.record_success(42)
+        stats.record_retry("timeout")
+        stats.record_shed("open")
+        stats.record_failure("exhausted")
+        kinds = [k for k, _, _ in log.rows]
+        assert kinds == [SERVE_REQUEST, SERVE_RETRY, SERVE_SHED, SERVE_FAILED]
+        assert log.rows[0][2] == "ok +42 ns"
+
+    def test_no_logger_writes_nothing(self):
+        stats = ServingStats(Simulation(), "w")
+        stats.record_success(1)  # must not raise without a logger
