@@ -28,6 +28,7 @@ from repro.perf.database import TraceDatabase
 from repro.perf.legacy import LegacyEventLogger
 from repro.perf.logger import AexMode
 from repro.perf.logger import EventLogger
+from repro.sdk.errors import SgxStatus
 from repro.sgx.device import SgxDevice
 from repro.sim.loader import Library
 from repro.sim.process import SimProcess
@@ -100,9 +101,10 @@ def _run_recording(logger_cls, db: TraceDatabase):
     def app_sgx_ecall(enclave_id, index, ocall_table, args):
         # A Table-2-style null ecall that issues one null ocall through
         # the (substituted) table — the workload is pure transition +
-        # logging cost, as in the paper's overhead benchmark.
+        # logging cost, as in the paper's overhead benchmark.  Returns the
+        # real URTS convention: ``(status, return value)``.
         ocall_table.entry(0)()
-        return 0
+        return SgxStatus.SGX_SUCCESS, 0
 
     app = Library("libapp_urts.so", {"sgx_ecall": app_sgx_ecall})
     process.loader.load(app)

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import hashlib
+import os
 import sys
 from dataclasses import dataclass, field
 from typing import Optional
@@ -227,6 +228,17 @@ def main(argv: Optional[list[str]] = None) -> int:
         description="Run one deterministic fault-injection campaign",
     )
     parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument(
+        "--seeds",
+        default=None,
+        help="multi-seed sweep via the parallel engine: '0-15', '0,3,7' or a single seed",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="sweep worker processes (default: SGXPERF_JOBS, else cpu count; 0 = inline)",
+    )
     parser.add_argument("--output", default=":memory:", help="trace database path")
     parser.add_argument("--workers", type=int, default=3)
     parser.add_argument("--calls", type=int, default=40, help="calls per worker")
@@ -239,6 +251,24 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="print only the trace digest (the CI determinism gate)",
     )
     args = parser.parse_args(argv)
+    if args.seeds is not None:
+        from repro.sweep import run_sweep
+
+        params = {"workers": args.workers, "calls": args.calls, "faults": not args.no_faults}
+        if args.output != ":memory:":
+            # In sweep mode --output names a directory of per-task traces.
+            os.makedirs(args.output, exist_ok=True)
+            params["trace_dir"] = args.output
+        report = run_sweep(
+            spec={"kind": "campaign", "seeds": args.seeds, "params": params},
+            jobs=args.jobs,
+        )
+        if args.digest_only:
+            print(report.digest)
+        else:
+            print(report.render_report())
+            print(f"wall-clock: {report.wall_seconds:.2f}s with jobs={report.jobs}")
+        return 0 if report.failed == 0 and report.lost == 0 else 1
     result = run_campaign(
         args.seed,
         db_path=args.output,

@@ -18,6 +18,7 @@ Run directly::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from dataclasses import dataclass, field
 
@@ -173,6 +174,17 @@ def main(argv: list[str] | None = None) -> int:
         help="which serving workload to drive",
     )
     parser.add_argument("--seed", type=int, default=0, help="simulation seed")
+    parser.add_argument(
+        "--seeds",
+        default=None,
+        help="multi-seed sweep via the parallel engine: '0-15', '0,3,7' or a single seed",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="sweep worker processes (default: SGXPERF_JOBS, else cpu count; 0 = inline)",
+    )
     parser.add_argument("--output", default=":memory:", help="trace database path")
     parser.add_argument("--requests", type=int, default=120, help="TaLoS GETs")
     parser.add_argument("--clients", type=int, default=4, help="SecureKeeper clients")
@@ -190,6 +202,38 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     plan = FaultPlan.disabled() if args.no_chaos else None
     workloads = WORKLOADS if args.workload == "both" else (args.workload,)
+    if args.seeds is not None:
+        from repro.sweep import run_sweep
+
+        params = {
+            "requests": args.requests,
+            "clients": args.clients,
+            "ops": args.ops,
+            "chaos": not args.no_chaos,
+        }
+        if args.output != ":memory:":
+            # In sweep mode --output names a directory of per-task traces.
+            os.makedirs(args.output, exist_ok=True)
+            params["trace_dir"] = args.output
+        report = run_sweep(
+            spec={
+                "kind": "netcampaign",
+                "seeds": args.seeds,
+                "params": params,
+                "grid": {"workload": list(workloads)},
+            },
+            jobs=args.jobs,
+        )
+        if args.digest_only:
+            print(report.digest)
+        else:
+            print(report.render_report())
+            print(f"wall-clock: {report.wall_seconds:.2f}s with jobs={report.jobs}")
+        degraded = any(
+            r.status != "ok" or r.metrics.get("success_rate", 0.0) < 0.99
+            for r in report.results
+        )
+        return 1 if degraded else 0
     exit_code = 0
     for workload in workloads:
         db_path = args.output

@@ -11,6 +11,9 @@ Subcommands:
 * ``dot``     — emit the Figure 5-style call graph in Graphviz DOT;
 * ``salvage`` — recover a trace whose recording run crashed (close dangling
   calls, mark the trace salvaged);
+* ``sweep``   — fan a declarative grid of seeded campaign/netcampaign runs
+  across a shared-nothing process pool and print the deterministically
+  merged report (``--jobs N``, default cpu count / ``SGXPERF_JOBS``);
 * ``workloads`` — list recordable workloads.
 """
 
@@ -105,6 +108,65 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_value(text: str):
+    """Parse one grid value: int, then float, then bool keyword, else string."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            pass
+    if text.lower() in ("true", "false"):
+        return text.lower() == "true"
+    return text
+
+
+def _sweep_spec(args: argparse.Namespace) -> dict:
+    """Build the declarative grid spec from ``--spec`` or inline flags."""
+    import json
+
+    if args.spec:
+        if args.spec == "-":
+            spec = json.load(sys.stdin)
+        else:
+            with open(args.spec) as f:
+                spec = json.load(f)
+    else:
+        if not args.kind:
+            raise SystemExit("sweep: pass a task kind (campaign|netcampaign|selftest) or --spec")
+        spec = {"kind": args.kind, "seeds": args.seeds, "params": {}, "grid": {}}
+        for item in args.params:
+            name, eq, value = item.partition("=")
+            if not eq:
+                raise SystemExit(f"sweep: --set needs NAME=VALUE, got {item!r}")
+            spec["params"][name] = _sweep_value(value)
+        for item in args.axes:
+            name, eq, values = item.partition("=")
+            if not eq:
+                raise SystemExit(f"sweep: --axis needs NAME=V1,V2,..., got {item!r}")
+            spec["grid"][name] = [_sweep_value(v) for v in values.split(",") if v.strip()]
+    if args.trace_dir:
+        import os
+
+        os.makedirs(args.trace_dir, exist_ok=True)
+        spec.setdefault("params", {})["trace_dir"] = args.trace_dir
+    return spec
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import run_sweep
+
+    report = run_sweep(spec=_sweep_spec(args), jobs=args.jobs, retries=args.retries)
+    if args.manifest:
+        with open(args.manifest, "w") as f:
+            f.write(report.manifest)
+    if args.digest_only:
+        print(report.digest)
+    else:
+        print(report.render_report())
+        print(f"wall-clock: {report.wall_seconds:.2f}s with jobs={report.jobs}")
+    return 0 if report.failed == 0 and report.lost == 0 else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``sgxperf`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -146,6 +208,53 @@ def build_parser() -> argparse.ArgumentParser:
     p_salvage = sub.add_parser("salvage", help="recover a crashed recording run's trace")
     p_salvage.add_argument("trace", help="trace database path")
     p_salvage.set_defaults(func=_cmd_salvage)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="fan a grid of seeded runs across a shared-nothing process pool"
+    )
+    p_sweep.add_argument(
+        "kind",
+        nargs="?",
+        choices=["campaign", "netcampaign", "selftest"],
+        help="task kind (omit when using --spec)",
+    )
+    p_sweep.add_argument("--spec", help="JSON sweep spec file ('-' reads stdin)")
+    p_sweep.add_argument(
+        "--seeds", default="0", help="seed list: '0-15', '0,3,7' or a single seed"
+    )
+    p_sweep.add_argument(
+        "--set",
+        action="append",
+        dest="params",
+        default=[],
+        metavar="NAME=VALUE",
+        help="fixed parameter applied to every task (repeatable)",
+    )
+    p_sweep.add_argument(
+        "--axis",
+        action="append",
+        dest="axes",
+        default=[],
+        metavar="NAME=V1,V2,...",
+        help="grid axis swept over the given values (repeatable)",
+    )
+    p_sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: SGXPERF_JOBS, else cpu count; 0 = inline)",
+    )
+    p_sweep.add_argument(
+        "--retries", type=int, default=1, help="bounded retries for crashed workers"
+    )
+    p_sweep.add_argument("--trace-dir", help="keep per-task trace databases in this directory")
+    p_sweep.add_argument("--manifest", help="write the merged manifest to this path")
+    p_sweep.add_argument(
+        "--digest-only",
+        action="store_true",
+        help="print only the manifest digest (the CI determinism gate)",
+    )
+    p_sweep.set_defaults(func=_cmd_sweep)
 
     p_list = sub.add_parser("workloads", help="list recordable workloads")
     p_list.set_defaults(func=_cmd_workloads)

@@ -26,6 +26,7 @@ analysers, and raw SQL for everyone else.
 
 from __future__ import annotations
 
+import os
 import sqlite3
 from dataclasses import dataclass
 from typing import Iterable, Optional
@@ -49,6 +50,16 @@ from repro.perf.events import (
 # Name given to calls synthesised by salvage for ids the crashed logger
 # never flushed (their real names died with the in-memory frames).
 TRUNCATED_CALL_NAME = "<truncated>"
+
+
+class TraceError(RuntimeError):
+    """A trace database used in a way that would corrupt it.
+
+    The canonical case: a ``TraceDatabase`` carried across ``fork()`` into a
+    child process.  SQLite connections must not be shared across processes —
+    the sweep engine gives every worker its own store; anything else gets
+    this error instead of silent corruption.
+    """
 
 _SCHEMA_TABLES = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -182,6 +193,17 @@ class TraceDatabase:
         self._sync: list[tuple] = []
         self._faults: list[tuple] = []
         self._closed = False
+        # Owning process: a connection inherited across fork()/spawn() must
+        # never touch the database file (shared-nothing guard).
+        self._owner_pid = os.getpid()
+
+    def _check_owner(self) -> None:
+        if os.getpid() != self._owner_pid:
+            raise TraceError(
+                f"TraceDatabase({self.path!r}) opened in pid {self._owner_pid} "
+                f"used from child pid {os.getpid()}; open a fresh database per "
+                "process (the sweep engine gives each worker its own trace)"
+            )
 
     def _apply_recording_pragmas(self) -> None:
         conn = self._conn
@@ -254,6 +276,7 @@ class TraceDatabase:
         self._write_batch(_INSERT_FAULTS, rows)
 
     def _write_batch(self, sql: str, rows: Iterable[tuple]) -> None:
+        self._check_owner()
         conn = self._conn
         conn.execute("BEGIN")
         try:
@@ -267,6 +290,7 @@ class TraceDatabase:
 
     def set_meta(self, key: str, value: str) -> None:
         """Store one key/value metadata pair (patch level, frequency, ...)."""
+        self._check_owner()
         self._conn.execute(
             "INSERT OR REPLACE INTO meta(key, value) VALUES (?, ?)", (key, str(value))
         )
@@ -314,6 +338,7 @@ class TraceDatabase:
 
     def add_thread(self, record: ThreadRecord) -> None:
         """Record one observed thread."""
+        self._check_owner()
         self._conn.execute(
             "INSERT OR REPLACE INTO threads(thread_id, name, created_ns) VALUES (?,?,?)",
             (record.thread_id, record.name, record.created_ns),
@@ -321,6 +346,7 @@ class TraceDatabase:
 
     def add_enclave(self, record: EnclaveRecord) -> None:
         """Record one enclave's static facts."""
+        self._check_owner()
         self._conn.execute(
             "INSERT OR REPLACE INTO enclaves"
             "(enclave_id, name, size_pages, tcs_count, base_vaddr) VALUES (?,?,?,?,?)",
@@ -354,6 +380,7 @@ class TraceDatabase:
     def close(self) -> None:
         """Flush and close the underlying connection."""
         if not self._closed:
+            self._check_owner()
             self.flush()
             self._conn.close()
             self._closed = True
@@ -368,11 +395,13 @@ class TraceDatabase:
 
     def _ensure_read(self) -> None:
         """Flush pending rows and build the deferred read indexes."""
+        self._check_owner()
         self.flush()
         self._create_indexes()
 
     def get_meta(self, key: str, default: Optional[str] = None) -> Optional[str]:
         """Fetch one metadata value."""
+        self._check_owner()
         row = self._conn.execute("SELECT value FROM meta WHERE key = ?", (key,)).fetchone()
         return row[0] if row else default
 
@@ -621,5 +650,6 @@ class TraceDatabase:
         Flushes buffered rows but does not force the deferred read indexes;
         ad-hoc SQL decides for itself what it needs.
         """
+        self._check_owner()
         self.flush()
         return self._conn.execute(sql, tuple(params)).fetchall()

@@ -16,10 +16,19 @@ races.
 Single-threaded convenience: a :class:`Simulation` can also be used *inline*
 without spawning any thread.  ``sim.compute(...)`` then simply advances the
 clock.  This keeps simple benchmarks free of spawn/run boilerplate.
+
+Scheduling is O(log n): schedulable threads (runnable, or blocked with a
+timed-wait deadline) live in an indexed min-heap keyed on
+``(wake_time, seq)`` with lazy invalidation — every state transition pushes
+a fresh entry and stamps the thread with its push id, so stale heap entries
+are recognised and discarded at pop time instead of being searched for.
+The seed linear-scan picker is kept as ``run_queue="linear"`` purely as the
+reference implementation for the scheduler benchmark.
 """
 
 from __future__ import annotations
 
+import heapq
 import threading
 from typing import Any, Callable, Optional
 
@@ -87,6 +96,9 @@ class SimThread:
         self.futex_key: Any = None
         self.blocked_since_ns: Optional[int] = None
         self._killed = False
+        # Push id of this thread's only live run-queue entry (0 = none);
+        # see Simulation._runq_push.
+        self._rq_entry = 0
         self._go = threading.Event()
         self._os_thread: Optional[threading.Thread] = None
 
@@ -143,7 +155,9 @@ class SimThread:
         self.seq = self._sim._next_seq()
         self.timed_out = False
         self.timeout_at = None
+        self.futex_key = None
         self.blocked_since_ns = None
+        self._sim._runq_push(self, self.wake_time, self.seq)
         return True
 
     def __repr__(self) -> str:
@@ -151,9 +165,19 @@ class SimThread:
 
 
 class Simulation:
-    """Owner of the virtual clock, the scheduler and the futex table."""
+    """Owner of the virtual clock, the scheduler and the futex table.
 
-    def __init__(self, seed: int = 0, frequency_ghz: float = 3.4) -> None:
+    ``run_queue`` selects the scheduler's picker: ``"heap"`` (default) uses
+    the O(log n) indexed min-heap; ``"linear"`` keeps the seed O(n) scan as
+    a reference implementation for the scheduler benchmark.  Both produce
+    byte-identical schedules.
+    """
+
+    def __init__(
+        self, seed: int = 0, frequency_ghz: float = 3.4, run_queue: str = "heap"
+    ) -> None:
+        if run_queue not in ("heap", "linear"):
+            raise ValueError(f"unknown run_queue {run_queue!r}; use 'heap' or 'linear'")
         self.clock = VirtualClock(frequency_ghz)
         self.rng = DeterministicRng(seed)
         self._threads: list[SimThread] = []
@@ -164,6 +188,15 @@ class Simulation:
         self._futexes: dict[Any, list[SimThread]] = {}
         self._running = False
         self._exit_hooks: list[Callable[[SimThread], None]] = []
+        self._use_heap = run_queue == "heap"
+        # Indexed min-heap of (time, seq, push_id, thread) with lazy
+        # invalidation; push ids are globally unique so tuple comparison
+        # never reaches the (uncomparable) thread object.
+        self._runq: list[tuple[int, int, int, SimThread]] = []
+        self._runq_push_id = 0
+        # Maintained count of live non-daemon threads, replacing the
+        # per-turn _live_non_daemon() list rebuild on the run() hot loop.
+        self._live_non_daemon_count = 0
 
     # -- bookkeeping --------------------------------------------------------
 
@@ -203,11 +236,50 @@ class Simulation:
         )
         thread.state = _RUNNABLE
         self._threads.append(thread)
+        if not daemon:
+            self._live_non_daemon_count += 1
+        self._runq_push(thread, thread.wake_time, thread.seq)
+        return thread
+
+    # -- the run queue -------------------------------------------------------
+
+    def _runq_push(self, thread: SimThread, time: int, seq: int) -> None:
+        """Enqueue ``thread`` at key ``(time, seq)``, invalidating its old entry.
+
+        A thread has at most one *live* entry: the one whose push id matches
+        ``thread._rq_entry``.  Anything else in the heap is stale and gets
+        discarded lazily at peek/pop time.
+        """
+        if not self._use_heap:
+            return
+        self._runq_push_id += 1
+        thread._rq_entry = pid = self._runq_push_id
+        heapq.heappush(self._runq, (time, seq, pid, thread))
+
+    def _runq_peek(self) -> Optional[tuple[int, int, int, SimThread]]:
+        """The live minimum entry, pruning stale ones; ``None`` if empty."""
+        runq = self._runq
+        while runq:
+            entry = runq[0]
+            if entry[3]._rq_entry == entry[2]:
+                return entry
+            heapq.heappop(runq)
+        return None
+
+    def _runq_pop(self) -> Optional[SimThread]:
+        """Remove and return the live minimum thread; ``None`` if empty."""
+        entry = self._runq_peek()
+        if entry is None:
+            return None
+        heapq.heappop(self._runq)
+        thread = entry[3]
+        thread._rq_entry = 0
         return thread
 
     # -- the scheduler ------------------------------------------------------
 
     def _pick_next(self) -> Optional[SimThread]:
+        """Seed linear-scan picker (``run_queue="linear"`` reference path)."""
         best: Optional[SimThread] = None
         best_key: tuple[int, int] = (0, 0)
         for thread in self._threads:
@@ -239,7 +311,22 @@ class Simulation:
         thread.blocked_since_ns = None
 
     def _live_non_daemon(self) -> list[SimThread]:
+        """Seed O(n) liveness rebuild (``run_queue="linear"`` reference path)."""
         return [t for t in self._threads if t.is_alive and not t.daemon]
+
+    def _deadlock(self) -> DeadlockError:
+        """Build the no-runnable-thread diagnostic, one entry per blocked thread.
+
+        Includes each blocked thread's futex key and ``blocked_since_ns`` so
+        a failure report from a parallel-sweep child process is actionable
+        without re-running the task under a debugger.
+        """
+        blocked = [t for t in self._threads if t.state == _BLOCKED]
+        details = ", ".join(
+            f"{t!r} futex_key={t.futex_key!r} blocked_since_ns={t.blocked_since_ns}"
+            for t in blocked
+        )
+        return DeadlockError("no runnable thread; blocked: " + details)
 
     def run(self) -> None:
         """Drive the simulation until all non-daemon threads complete.
@@ -250,15 +337,16 @@ class Simulation:
         if self._running:
             raise SimulationError("simulation is already running")
         self._running = True
+        use_heap = self._use_heap
         try:
-            while self._live_non_daemon():
-                nxt = self._pick_next()
+            while (
+                self._live_non_daemon_count > 0
+                if use_heap
+                else self._live_non_daemon()
+            ):
+                nxt = self._runq_pop() if use_heap else self._pick_next()
                 if nxt is None:
-                    blocked = [t for t in self._threads if t.state == _BLOCKED]
-                    raise DeadlockError(
-                        "no runnable thread; blocked: "
-                        + ", ".join(repr(t) for t in blocked)
-                    )
+                    raise self._deadlock()
                 if nxt.state == _BLOCKED:
                     self._expire_timed_wait(nxt)
                 self.clock.advance_to(nxt.wake_time)
@@ -283,6 +371,8 @@ class Simulation:
                 self._sched_event.wait()
             elif thread.is_alive:
                 thread.state = _DONE
+                thread._rq_entry = 0
+                self._note_thread_done(thread)
                 self._run_exit_hooks(thread)
 
     def on_thread_exit(self, hook: Callable[[SimThread], None]) -> None:
@@ -298,7 +388,12 @@ class Simulation:
         for hook in self._exit_hooks:
             hook(thread)
 
+    def _note_thread_done(self, thread: SimThread) -> None:
+        if not thread.daemon:
+            self._live_non_daemon_count -= 1
+
     def _on_thread_done(self, thread: SimThread) -> None:
+        self._note_thread_done(thread)
         self._run_exit_hooks(thread)
         self._sched_event.set()
 
@@ -332,12 +427,25 @@ class Simulation:
         self._seq = seq = self._seq + 1
         current.seq = seq
         current.state = _RUNNABLE
-        nxt = self._pick_next()
-        if nxt is current:
-            current.state = _RUNNING
-            if deadline > clock.now_ns:
-                clock.now_ns = deadline
-            return
+        if self._use_heap:
+            # Keep the turn unless some other schedulable thread precedes
+            # our new key — a peek, not a push+pop, so the single-runnable
+            # fast path never touches the heap.  ``seq`` is freshly bumped,
+            # so ties resolve exactly as the linear scan would.
+            entry = self._runq_peek()
+            if entry is None or (deadline, seq) < (entry[0], entry[1]):
+                current.state = _RUNNING
+                if deadline > clock.now_ns:
+                    clock.now_ns = deadline
+                return
+            self._runq_push(current, deadline, seq)
+        else:
+            nxt = self._pick_next()
+            if nxt is current:
+                current.state = _RUNNING
+                if deadline > clock.now_ns:
+                    clock.now_ns = deadline
+                return
         self._yield_turn(current)
         current.state = _RUNNING
 
@@ -371,12 +479,16 @@ class Simulation:
         """
         current = self._require_thread("futex_wait")
         self._futexes.setdefault(key, []).append(current)
+        current.futex_key = key
         if timeout_ns is None:
             self.block_current()
+            current.futex_key = None
             return True
         current.timeout_at = self.clock.now_ns + int(timeout_ns)
         current.timed_out = False
-        current.futex_key = key
+        # A timed wait competes for the turn at its expiry key; enqueue it
+        # so the heap scheduler can expire it without scanning.
+        self._runq_push(current, current.timeout_at, current.seq)
         self.block_current()
         woken = not current.timed_out
         current.timed_out = False

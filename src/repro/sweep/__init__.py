@@ -1,0 +1,34 @@
+"""Shared-nothing parallel sweep engine.
+
+The paper's methodology is sweep-shaped: every figure is many independent
+seeded runs, and the fault/chaos campaigns inherited that shape.  This
+package fans a declarative grid of (seed × workload × plan-parameter)
+tasks across a spawn-context process pool — each worker runs one fully
+isolated simulation (its own device, logger and trace store) and returns a
+compact :class:`~repro.sweep.tasks.TaskResult` — then merges results in
+deterministic task order, never completion order, so the merged manifest
+is byte-identical regardless of worker count.
+"""
+
+from repro.sweep.engine import (
+    WORKER_LOST,
+    SweepError,
+    SweepReport,
+    resolve_jobs,
+    run_sweep,
+)
+from repro.sweep.grid import expand_grid, parse_seeds
+from repro.sweep.tasks import SweepTask, TaskResult, run_task
+
+__all__ = [
+    "WORKER_LOST",
+    "SweepError",
+    "SweepReport",
+    "SweepTask",
+    "TaskResult",
+    "expand_grid",
+    "parse_seeds",
+    "resolve_jobs",
+    "run_sweep",
+    "run_task",
+]

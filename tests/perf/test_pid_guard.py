@@ -1,0 +1,60 @@
+"""The TraceDatabase cross-process ownership guard."""
+
+import multiprocessing
+
+import pytest
+
+from repro.perf.database import TraceDatabase, TraceError
+from repro.perf.events import ThreadRecord
+
+
+def _child_probe(db, queue):
+    """Run in a forked child: every connection touch must raise TraceError."""
+    outcomes = {}
+    probes = {
+        "set_meta": lambda: db.set_meta("k", "v"),
+        "get_meta": lambda: db.get_meta("k"),
+        "flush": lambda: db.add_call_rows([]),
+        "add_thread": lambda: db.add_thread(ThreadRecord(1, "t", 0)),
+        "execute": lambda: db.execute("SELECT 1"),
+        "close": db.close,
+    }
+    for name, probe in probes.items():
+        try:
+            probe()
+            outcomes[name] = "no error"
+        except TraceError:
+            outcomes[name] = "TraceError"
+        except Exception as exc:  # noqa: BLE001 - the wrong error is the finding
+            outcomes[name] = type(exc).__name__
+    queue.put(outcomes)
+
+
+class TestPidGuard:
+    def test_same_process_use_is_unaffected(self, tmp_path):
+        with TraceDatabase(str(tmp_path / "t.db")) as db:
+            db.set_meta("k", "v")
+            assert db.get_meta("k") == "v"
+
+    def test_forked_child_cannot_touch_parent_database(self, tmp_path):
+        ctx = multiprocessing.get_context("fork")
+        db = TraceDatabase(str(tmp_path / "t.db"))
+        db.set_meta("parent", "ok")
+        queue = ctx.Queue()
+        proc = ctx.Process(target=_child_probe, args=(db, queue))
+        proc.start()
+        outcomes = queue.get(timeout=30)
+        proc.join(timeout=30)
+        assert outcomes == {name: "TraceError" for name in outcomes}
+        # The parent's connection still works afterwards.
+        assert db.get_meta("parent") == "ok"
+        db.close()
+
+    def test_error_message_names_both_pids(self, tmp_path, monkeypatch):
+        db = TraceDatabase(str(tmp_path / "t.db"))
+        real_pid = db._owner_pid
+        monkeypatch.setattr(db, "_owner_pid", real_pid + 1)
+        with pytest.raises(TraceError, match=f"pid {real_pid + 1} .* pid {real_pid}"):
+            db.set_meta("k", "v")
+        monkeypatch.setattr(db, "_owner_pid", real_pid)
+        db.close()

@@ -1,0 +1,144 @@
+"""The indexed min-heap run queue (and its linear reference twin)."""
+
+import pytest
+
+from repro.sim.kernel import DeadlockError, Simulation
+
+
+def _interleaving(run_queue: str, seed: int = 0):
+    """A mixed workload's event log: computes, timed waits, wakes, a daemon."""
+    sim = Simulation(seed=seed, run_queue=run_queue)
+    log = []
+
+    def daemon():
+        while True:
+            sim.compute(40)
+            log.append(("daemon", sim.now_ns))
+
+    def sleeper(name, timeout_ns):
+        sim.compute(5)
+        woke = sim.futex_wait("gate", timeout_ns=timeout_ns)
+        log.append((name, "woke" if woke else "expired", sim.now_ns))
+
+    def waker():
+        sim.compute(120)
+        n = sim.futex_wake("gate", count=1)
+        log.append(("waker", n, sim.now_ns))
+
+    def worker(name, step):
+        for _ in range(4):
+            sim.compute(step)
+            log.append((name, sim.now_ns))
+
+    sim.spawn(daemon, daemon=True)
+    sim.spawn(sleeper, "early", 50)
+    sim.spawn(sleeper, "late", 500)
+    sim.spawn(waker)
+    sim.spawn(worker, "fast", 15)
+    sim.spawn(worker, "slow", 60)
+    sim.run()
+    return log
+
+
+class TestHeapRunQueue:
+    def test_invalid_run_queue_rejected(self):
+        with pytest.raises(ValueError):
+            Simulation(run_queue="bogus")
+
+    def test_timed_wait_expiry_ordering(self):
+        # Two timed waiters with different deadlines must expire in
+        # deadline order, interleaved correctly with a computing thread.
+        sim = Simulation(run_queue="heap")
+        log = []
+
+        def sleeper(name, timeout_ns):
+            expired = not sim.futex_wait("never-woken", timeout_ns=timeout_ns)
+            log.append((name, expired, sim.now_ns))
+
+        def ticker():
+            for _ in range(3):
+                sim.compute(100)
+                log.append(("tick", sim.now_ns))
+
+        sim.spawn(sleeper, "short", 50)
+        sim.spawn(sleeper, "long", 250)
+        sim.spawn(ticker)
+        sim.run()
+        assert log == [
+            ("short", True, 50),
+            ("tick", 100),
+            ("tick", 200),
+            ("long", True, 250),
+            ("tick", 300),
+        ]
+
+    def test_same_wake_time_fifo_by_seq(self):
+        # Threads resumable at the same virtual instant run in seq
+        # (spawn/block) order — the heap must not reorder key ties.
+        sim = Simulation(run_queue="heap")
+        log = []
+
+        def waiter(name):
+            sim.futex_wait("gate")
+            log.append(name)
+
+        for name in ("a", "b", "c"):
+            sim.spawn(waiter, name)
+        sim.spawn(lambda: sim.futex_wake("gate", count=3))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_daemon_killed_when_last_non_daemon_exits(self):
+        sim = Simulation(run_queue="heap")
+        log = []
+
+        def daemon():
+            while True:
+                sim.compute(10)
+                log.append(sim.now_ns)
+
+        sim.spawn(daemon, daemon=True)
+        sim.spawn(lambda: sim.compute(35))
+        sim.run()
+        # The daemon may run while real work remains, never after.
+        assert log == [10, 20, 30]
+
+    def test_unstarted_daemon_killed_cleanly(self):
+        sim = Simulation(run_queue="heap")
+        sim.spawn(lambda: None, daemon=True)
+        sim.spawn(lambda: None, daemon=True)
+        sim.run()  # no non-daemon work at all; must not hang or leak
+
+    def test_deadlock_detected_with_diagnostics(self):
+        sim = Simulation(run_queue="heap")
+        sim.spawn(lambda: sim.futex_wait("lost-key"))
+        with pytest.raises(DeadlockError) as exc:
+            sim.run()
+        message = str(exc.value)
+        assert "futex_key='lost-key'" in message
+        assert "blocked_since_ns=" in message
+
+    def test_deadlock_diagnostics_linear_path_too(self):
+        sim = Simulation(run_queue="linear")
+        sim.spawn(lambda: sim.futex_wait("other-key"))
+        with pytest.raises(DeadlockError, match="futex_key='other-key'"):
+            sim.run()
+
+    def test_heap_matches_linear_reference_schedule(self):
+        for seed in (0, 7, 21):
+            assert _interleaving("heap", seed) == _interleaving("linear", seed)
+
+    def test_compute_fast_path_keeps_thread_running(self):
+        # A lone thread doing many computes must not churn the heap: the
+        # peeked queue is empty, so the thread stays RUNNING inline.
+        sim = Simulation(run_queue="heap")
+
+        def worker():
+            for _ in range(50):
+                sim.compute(10)
+
+        sim.spawn(worker)
+        sim.run()
+        assert sim.now_ns == 500
+        # All stale entries were pruned or never pushed.
+        assert sim._runq_peek() is None

@@ -1,0 +1,203 @@
+"""The shared-nothing parallel sweep engine.
+
+The contract under test: for the same grid spec, the merged manifest (and
+its digest) is byte-identical whatever the worker count — including when a
+worker crashes and the engine's bounded retry path runs.
+"""
+
+import os
+
+import pytest
+
+from repro.sweep import (
+    WORKER_LOST,
+    SweepError,
+    SweepTask,
+    expand_grid,
+    parse_seeds,
+    resolve_jobs,
+    run_sweep,
+    run_task,
+)
+from repro.sweep.grid import GridError
+from repro.sweep.tasks import UnknownTaskKind
+
+# A 12-task pure-scheduler grid: costs milliseconds per task, so the
+# determinism matrix (jobs 0/1/4, plus crash drills) stays fast.
+SELFTEST_SPEC = {"kind": "selftest", "seeds": "0-5", "grid": {"threads": [2, 4]}}
+
+
+class TestGrid:
+    def test_parse_seeds_forms(self):
+        assert parse_seeds(7) == [7]
+        assert parse_seeds([3, 1]) == [3, 1]
+        assert parse_seeds("4") == [4]
+        assert parse_seeds("-3") == [-3]
+        assert parse_seeds("2-5") == [2, 3, 4, 5]
+        assert parse_seeds("7,21,1337") == [7, 21, 1337]
+
+    def test_parse_seeds_empty_range_rejected(self):
+        with pytest.raises(GridError):
+            parse_seeds("5-2")
+
+    def test_expand_is_deterministic_and_indexed(self):
+        tasks = expand_grid(
+            {
+                "kind": "campaign",
+                "seeds": "0-1",
+                "params": {"workers": 2},
+                "grid": {"loss_probability": [0.0, 0.05], "calls": [4]},
+            }
+        )
+        assert [t.index for t in tasks] == [0, 1, 2, 3]
+        # Axes iterate in sorted-name order, seed innermost.
+        assert tasks[0].key == "campaign calls=4 loss_probability=0.0 seed=0 workers=2"
+        assert tasks[1].key == "campaign calls=4 loss_probability=0.0 seed=1 workers=2"
+        assert tasks[2].key == "campaign calls=4 loss_probability=0.05 seed=0 workers=2"
+        assert expand_grid(
+            {
+                "kind": "campaign",
+                "seeds": "0-1",
+                "params": {"workers": 2},
+                "grid": {"calls": [4], "loss_probability": [0.0, 0.05]},
+            }
+        ) == tasks  # axis declaration order is irrelevant
+
+    def test_missing_kind_rejected(self):
+        with pytest.raises(GridError):
+            expand_grid({"seeds": "0-3"})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(GridError):
+            expand_grid({"kind": "selftest", "grid": {"threads": []}})
+
+    def test_control_params_stay_out_of_key(self):
+        task = SweepTask(
+            index=0, kind="selftest", params=(("seed", 0), ("trace_dir", "/tmp/x"))
+        )
+        assert task.key == "selftest seed=0"
+
+
+class TestEngine:
+    def test_resolve_jobs(self, monkeypatch):
+        monkeypatch.delenv("SGXPERF_JOBS", raising=False)
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) == 0
+        assert resolve_jobs(None) == (os.cpu_count() or 1)
+        monkeypatch.setenv("SGXPERF_JOBS", "5")
+        assert resolve_jobs(None) == 5
+        with pytest.raises(SweepError):
+            resolve_jobs(-1)
+
+    def test_spec_xor_tasks_required(self):
+        with pytest.raises(SweepError):
+            run_sweep()
+        with pytest.raises(SweepError):
+            run_sweep(spec=SELFTEST_SPEC, tasks=[])
+
+    def test_bad_task_indexes_rejected(self):
+        tasks = [SweepTask(index=5, kind="selftest", params=(("seed", 0),))]
+        with pytest.raises(SweepError):
+            run_sweep(tasks=tasks, jobs=0)
+
+    def test_unknown_kind_raises_inline(self):
+        with pytest.raises(UnknownTaskKind, match="unknown sweep task kind"):
+            run_sweep(spec={"kind": "nope", "seeds": "0"}, jobs=0)
+
+    def test_manifest_identical_across_worker_counts(self):
+        reports = {jobs: run_sweep(spec=SELFTEST_SPEC, jobs=jobs) for jobs in (0, 1, 4)}
+        assert all(len(r.results) == 12 and r.ok == 12 for r in reports.values())
+        manifests = {r.manifest for r in reports.values()}
+        assert len(manifests) == 1
+        digests = {r.digest for r in reports.values()}
+        assert len(digests) == 1
+        # Per-task digests line up pairwise too, in index order.
+        for a, b in zip(reports[0].results, reports[4].results):
+            assert (a.index, a.key, a.digest) == (b.index, b.key, b.digest)
+
+    def test_failed_task_recorded_not_raised(self):
+        spec = {"kind": "selftest", "seeds": "0", "grid": {"threads": [2, "bogus"]}}
+        report = run_sweep(spec=spec, jobs=0)
+        assert report.ok == 1 and report.failed == 1
+        bad = [r for r in report.results if r.status == "failed"][0]
+        assert "ValueError" in bad.error
+        assert bad.key in report.manifest
+
+    def test_deterministic_report_excludes_timing(self):
+        report = run_sweep(spec=SELFTEST_SPEC, jobs=0)
+        rendered = report.render_report()
+        assert "wall" not in rendered and "attempt" not in rendered
+        assert report.manifest.count("\n") == 14  # header + count + 12 rows
+
+
+class TestCrashRecovery:
+    def test_crash_once_retried_with_identical_manifest(self, tmp_path):
+        # Task 5 kills its worker on first run (taking in-flight neighbours'
+        # futures down with it); its bounded isolated retry succeeds.
+        tasks = expand_grid(SELFTEST_SPEC)
+        sick = tasks[5]
+        tasks[5] = SweepTask(
+            index=sick.index,
+            kind=sick.kind,
+            params=tuple(
+                sorted(sick.params + (("crash", "once"), ("crash_dir", str(tmp_path))))
+            ),
+        )
+        clean = run_sweep(spec=SELFTEST_SPEC, jobs=1)
+        report = run_sweep(tasks=tasks, jobs=4)
+        assert report.ok == 12 and report.lost == 0
+        # The merged manifest is still byte-identical to the crash-free run
+        # (control params never enter keys; attempts never enter rows).
+        assert report.manifest == clean.manifest
+        assert report.digest == clean.digest
+        assert report.results[5].attempts >= 2
+
+    def test_crash_always_becomes_worker_lost_row(self):
+        spec = {
+            "kind": "selftest",
+            "seeds": "0-2",
+            "params": {"crash": "always"},
+        }
+        report = run_sweep(spec=spec, jobs=2, retries=1)
+        assert report.lost == 3 and report.ok == 0
+        for result in report.results:
+            assert result.status == WORKER_LOST
+            assert result.attempts == 2
+            assert "worker process lost" in result.error
+        # Lost rows are part of the deterministic manifest.
+        assert report.manifest.count(WORKER_LOST) == 3
+
+    def test_worker_lost_rows_merge_deterministically(self):
+        # One reliably-crashing task among healthy neighbours: the healthy
+        # results must be byte-identical to an all-healthy run's rows.
+        tasks = expand_grid(SELFTEST_SPEC)
+        sick = SweepTask(
+            index=len(tasks),
+            kind="selftest",
+            params=(("crash", "always"), ("seed", 99)),
+        )
+        report = run_sweep(tasks=tasks + [sick], jobs=4, retries=1)
+        assert report.ok == 12 and report.lost == 1
+        clean = run_sweep(spec=SELFTEST_SPEC, jobs=1)
+        assert report.manifest.splitlines()[2:-1] == clean.manifest.splitlines()[2:]
+
+
+class TestTaskArtifacts:
+    def test_trace_dir_writes_per_task_databases(self, tmp_path):
+        spec = {
+            "kind": "campaign",
+            "seeds": "0-1",
+            "params": {"workers": 2, "calls": 4, "trace_dir": str(tmp_path)},
+        }
+        report = run_sweep(spec=spec, jobs=2)
+        assert report.ok == 2
+        traces = sorted(p.name for p in tmp_path.iterdir() if p.name.endswith(".db"))
+        assert len(traces) == 2
+        for task in report.tasks:
+            assert f"{task.slug}.db" in traces
+
+    def test_run_task_inline_matches_worker_digest(self):
+        task = expand_grid({"kind": "selftest", "seeds": "3"})[0]
+        inline = run_task(task)
+        pooled = run_sweep(tasks=[task], jobs=1).results[0]
+        assert inline.digest == pooled.digest
