@@ -20,13 +20,20 @@ Implements the paper's detection equations with its default weights:
 All detectors consume :class:`~repro.perf.columns.CallColumns` internally
 (legacy ``Sequence[CallEvent]`` inputs are coerced), grouping and
 thresholding on NumPy arrays instead of per-event objects.
+
+Every detector reduces its evidence to **plain threshold counts** before
+deciding anything: the counts go through the shared ``*_finding_from_counts``
+builders, which hold the decision equations and message formats.  The
+streaming analyser (:mod:`repro.perf.analysis.streaming`) accumulates the
+same counts incrementally over chunks and calls the same builders, so both
+paths produce byte-identical findings by construction.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Sequence, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -144,6 +151,48 @@ def _grouped_rows(keys: np.ndarray) -> list[tuple[str, np.ndarray]]:
 # --------------------------------------------------------------------------
 
 
+def move_finding_from_counts(
+    kind: str,
+    name: str,
+    total: int,
+    n1: int,
+    n5: int,
+    n10: int,
+    weights: AnalyzerWeights = AnalyzerWeights(),
+) -> Optional[Finding]:
+    """Equation 1 decision from execution-duration threshold counts.
+
+    ``n1``/``n5``/``n10`` count executions shorter than 1/5/10 us out of
+    ``total`` (transition already subtracted for ecalls).
+    """
+    c1 = n1 / total if total else 0.0
+    c5 = n5 / total if total else 0.0
+    c10 = n10 / total if total else 0.0
+    if not (
+        c1 >= weights.move_alpha
+        or c5 >= weights.move_beta
+        or c10 >= weights.move_gamma
+    ):
+        return None
+    if kind == ECALL:
+        recommendations = (Recommendation.MOVE_OUT, Recommendation.BATCH)
+        hint = "mostly-short ecall: computation does not amortise the transition"
+    else:
+        recommendations = (Recommendation.MOVE_IN, Recommendation.DUPLICATE)
+        hint = "mostly-short ocall: consider keeping the work inside the enclave"
+    return Finding(
+        problem=Problem.SISC,
+        kind=kind,
+        call=name,
+        recommendations=recommendations,
+        message=(
+            f"{hint} ({total} calls; {c1:.0%} <1us, {c5:.0%} <5us, "
+            f"{c10:.0%} <10us of execution time)"
+        ),
+        evidence={"count": total, "c1": c1, "c5": c5, "c10": c10},
+    )
+
+
 def detect_move_candidates(
     calls: Calls,
     transition_round_trip_ns: int,
@@ -159,41 +208,69 @@ def detect_move_candidates(
         exec_ns = durations[rows]
         if kind == ECALL:
             exec_ns = np.maximum(exec_ns - int(transition_round_trip_ns), 0)
-        total = len(exec_ns)
-        c1 = stats_mod.fraction_shorter_than(exec_ns, 1_000)
-        c5 = stats_mod.fraction_shorter_than(exec_ns, 5_000)
-        c10 = stats_mod.fraction_shorter_than(exec_ns, 10_000)
-        if not (
-            c1 >= weights.move_alpha
-            or c5 >= weights.move_beta
-            or c10 >= weights.move_gamma
-        ):
-            continue
-        if kind == ECALL:
-            recommendations = (Recommendation.MOVE_OUT, Recommendation.BATCH)
-            hint = "mostly-short ecall: computation does not amortise the transition"
-        else:
-            recommendations = (Recommendation.MOVE_IN, Recommendation.DUPLICATE)
-            hint = "mostly-short ocall: consider keeping the work inside the enclave"
-        findings.append(
-            Finding(
-                problem=Problem.SISC,
-                kind=kind,
-                call=name,
-                recommendations=recommendations,
-                message=(
-                    f"{hint} ({total} calls; {c1:.0%} <1us, {c5:.0%} <5us, "
-                    f"{c10:.0%} <10us of execution time)"
-                ),
-                evidence={"count": total, "c1": c1, "c5": c5, "c10": c10},
-            )
+        finding = move_finding_from_counts(
+            kind,
+            name,
+            len(exec_ns),
+            int((exec_ns < 1_000).sum()),
+            int((exec_ns < 5_000).sum()),
+            int((exec_ns < 10_000).sum()),
+            weights,
         )
+        if finding is not None:
+            findings.append(finding)
     return findings
 
 
 # --------------------------------------------------------------------------
 # Equation 2: reordering opportunities
 # --------------------------------------------------------------------------
+
+
+def reorder_finding_from_counts(
+    kind: str,
+    name: str,
+    parent_name: str,
+    total: int,
+    s10: int,
+    s20: int,
+    e10: int,
+    e20: int,
+    weights: AnalyzerWeights = AnalyzerWeights(),
+) -> Optional[Finding]:
+    """Equation 2 decision from offset threshold counts.
+
+    ``s10``/``s20`` count nested calls starting within 10/20 us of the
+    parent's start; ``e10``/``e20`` count them ending within 10/20 us of
+    the parent's end.  The "start" position is tried first; at most one
+    finding per (call, parent) pair is produced.
+    """
+    for label, n10, n20 in (("start", s10, s20), ("end", e10, e20)):
+        c10 = n10 / total if total else 0.0
+        c20 = n20 / total if total else 0.0
+        score = c10 * weights.reorder_alpha + c20 * weights.reorder_beta
+        if score >= weights.reorder_gamma:
+            return Finding(
+                problem=Problem.SNC,
+                kind=kind,
+                call=name,
+                recommendations=(Recommendation.REORDER,),
+                message=(
+                    f"nested {kind} clustered at the {label} of "
+                    f"{parent_name} ({total} calls, {c10:.0%} within "
+                    f"10us, {c20:.0%} within 20us): execute it "
+                    f"{'before' if label == 'start' else 'after'} the parent instead"
+                ),
+                evidence={
+                    "parent": parent_name,
+                    "position": label,
+                    "count": total,
+                    "c10": c10,
+                    "c20": c20,
+                    "score": score,
+                },
+            )
+    return None
 
 
 def detect_reorder_candidates(
@@ -223,43 +300,92 @@ def detect_reorder_candidates(
         if len(rows) < weights.min_calls:
             continue
         kind, name, parent_name = key.split("\x00")
-        total = len(rows)
         starts = from_start_all[rows]
         ends = from_end_all[rows]
-        for label, values in (("start", starts), ("end", ends)):
-            c10 = float((values <= 10_000).mean())
-            c20 = float((values <= 20_000).mean())
-            score = c10 * weights.reorder_alpha + c20 * weights.reorder_beta
-            if score >= weights.reorder_gamma:
-                findings.append(
-                    Finding(
-                        problem=Problem.SNC,
-                        kind=kind,
-                        call=name,
-                        recommendations=(Recommendation.REORDER,),
-                        message=(
-                            f"nested {kind} clustered at the {label} of "
-                            f"{parent_name} ({total} calls, {c10:.0%} within "
-                            f"10us, {c20:.0%} within 20us): execute it "
-                            f"{'before' if label == 'start' else 'after'} the parent instead"
-                        ),
-                        evidence={
-                            "parent": parent_name,
-                            "position": label,
-                            "count": total,
-                            "c10": c10,
-                            "c20": c20,
-                            "score": score,
-                        },
-                    )
-                )
-                break  # one reorder finding per pair is enough
+        finding = reorder_finding_from_counts(
+            kind,
+            name,
+            parent_name,
+            len(rows),
+            int((starts <= 10_000).sum()),
+            int((starts <= 20_000).sum()),
+            int((ends <= 10_000).sum()),
+            int((ends <= 20_000).sum()),
+            weights,
+        )
+        if finding is not None:
+            findings.append(finding)
     return findings
 
 
 # --------------------------------------------------------------------------
 # Equation 3: merging / batching opportunities
 # --------------------------------------------------------------------------
+
+
+def merge_finding_from_counts(
+    child_key: tuple[str, str],
+    parent_key: tuple[str, str],
+    pairs: int,
+    n1: int,
+    n5: int,
+    n10: int,
+    n20: int,
+    child_total: int,
+    parent_total: int,
+    weights: AnalyzerWeights = AnalyzerWeights(),
+) -> Optional[Finding]:
+    """Equation 3 decision from gap threshold counts.
+
+    ``n1``..``n20`` count successive (parent, child) pairs with a gap of
+    at most 1/5/10/20 us out of ``pairs``; the P-fractions are taken over
+    ``parent_total`` occurrences of the parent call, per the paper.
+    """
+    if pairs < weights.min_calls:
+        return None
+    if parent_total / child_total < weights.merge_lambda:
+        return None
+    p1 = float(n1) / parent_total
+    p5 = float(n5) / parent_total
+    p10 = float(n10) / parent_total
+    p20 = float(n20) / parent_total
+    score = (
+        p1 * weights.merge_alpha
+        + p5 * weights.merge_beta
+        + p10 * weights.merge_gamma
+        + p20 * weights.merge_delta
+    )
+    if score < weights.merge_epsilon:
+        return None
+    kind, name = child_key
+    if child_key == parent_key:
+        problem, rec = Problem.SISC, Recommendation.BATCH
+        message = (
+            f"{name} is repeatedly its own indirect parent with short gaps "
+            f"({pairs} successive pairs, score {score:.2f}): batch the calls"
+        )
+    else:
+        problem, rec = Problem.SDSC, Recommendation.MERGE
+        message = (
+            f"{name} frequently follows {parent_key[1]} within microseconds "
+            f"({pairs} pairs, score {score:.2f}): merge them into one call"
+        )
+    return Finding(
+        problem=problem,
+        kind=kind,
+        call=name,
+        recommendations=(rec, Recommendation.MOVE_IN if kind == OCALL else Recommendation.MOVE_OUT),
+        message=message,
+        evidence={
+            "indirect_parent": parent_key[1],
+            "pairs": pairs,
+            "p1": p1,
+            "p5": p5,
+            "p10": p10,
+            "p20": p20,
+            "score": score,
+        },
+    )
 
 
 def detect_merge_batch_candidates(
@@ -291,64 +417,71 @@ def detect_merge_batch_candidates(
         dtype=object,
     )
     for key, rows in _grouped_rows(keys):
-        if len(rows) < weights.min_calls:
-            continue
         ck, cn, pk, pn = key.split("\x00")
         child_key, parent_key = (ck, cn), (pk, pn)
-        child_total = counts_by_name[child_key]
-        parent_total = counts_by_name[parent_key]
-        if parent_total / child_total < weights.merge_lambda:
-            continue
         arr = gaps_all[rows]
-        p1 = float((arr <= 1_000).sum()) / parent_total
-        p5 = float((arr <= 5_000).sum()) / parent_total
-        p10 = float((arr <= 10_000).sum()) / parent_total
-        p20 = float((arr <= 20_000).sum()) / parent_total
-        score = (
-            p1 * weights.merge_alpha
-            + p5 * weights.merge_beta
-            + p10 * weights.merge_gamma
-            + p20 * weights.merge_delta
+        finding = merge_finding_from_counts(
+            child_key,
+            parent_key,
+            len(rows),
+            int((arr <= 1_000).sum()),
+            int((arr <= 5_000).sum()),
+            int((arr <= 10_000).sum()),
+            int((arr <= 20_000).sum()),
+            counts_by_name[child_key],
+            counts_by_name[parent_key],
+            weights,
         )
-        if score < weights.merge_epsilon:
-            continue
-        kind, name = child_key
-        if child_key == parent_key:
-            problem, rec = Problem.SISC, Recommendation.BATCH
-            message = (
-                f"{name} is repeatedly its own indirect parent with short gaps "
-                f"({len(rows)} successive pairs, score {score:.2f}): batch the calls"
-            )
-        else:
-            problem, rec = Problem.SDSC, Recommendation.MERGE
-            message = (
-                f"{name} frequently follows {parent_key[1]} within microseconds "
-                f"({len(rows)} pairs, score {score:.2f}): merge them into one call"
-            )
-        findings.append(
-            Finding(
-                problem=problem,
-                kind=kind,
-                call=name,
-                recommendations=(rec, Recommendation.MOVE_IN if kind == OCALL else Recommendation.MOVE_OUT),
-                message=message,
-                evidence={
-                    "indirect_parent": parent_key[1],
-                    "pairs": len(rows),
-                    "p1": p1,
-                    "p5": p5,
-                    "p10": p10,
-                    "p20": p20,
-                    "score": score,
-                },
-            )
-        )
+        if finding is not None:
+            findings.append(finding)
     return findings
 
 
 # --------------------------------------------------------------------------
 # Short synchronisation calls
 # --------------------------------------------------------------------------
+
+
+def ssc_finding_from_counts(
+    total_sync_events: int,
+    sleeps: int,
+    wakes: int,
+    matched_sleeps: int,
+    short_sleeps: int,
+    wake_matrix: dict[tuple[int, int], int],
+    weights: AnalyzerWeights = AnalyzerWeights(),
+) -> list[Finding]:
+    """SSC decision (§3.4) from sync-event and sleep-duration counts.
+
+    ``matched_sleeps`` counts sleep events whose ``call_id`` resolved to a
+    traced call (per occurrence); ``short_sleeps`` counts those resolved
+    sleeps shorter than the SSC threshold.
+    """
+    if total_sync_events < weights.ssc_min_events:
+        return []
+    short_fraction = short_sleeps / matched_sleeps if matched_sleeps else 0.0
+    if short_fraction < 0.5 and wakes < weights.ssc_min_events:
+        return []
+    return [
+        Finding(
+            problem=Problem.SSC,
+            kind=OCALL,
+            call="sdk synchronisation",
+            recommendations=(Recommendation.HYBRID_SYNC,),
+            message=(
+                f"{sleeps} sleep and {wakes} wake ocalls observed; "
+                f"{short_fraction:.0%} of sleeps shorter than "
+                f"{weights.ssc_short_sleep_ns / 1000:.0f}us — locks are held "
+                "briefly, so spinning in-enclave would avoid most transitions"
+            ),
+            evidence={
+                "sleeps": sleeps,
+                "wakes": wakes,
+                "short_sleep_fraction": short_fraction,
+                "wake_matrix": wake_matrix,
+            },
+        )
+    ]
 
 
 def detect_ssc(
@@ -367,36 +500,20 @@ def detect_ssc(
     )
     sleep_pos = sleep_pos[sleep_pos >= 0]
     sleep_durations = cols.duration_ns()[sleep_pos]
-    short_fraction = stats_mod.fraction_shorter_than(
-        sleep_durations, weights.ssc_short_sleep_ns
-    )
     wake_matrix: dict[tuple[int, int], int] = {}
     for wake in wakes:
         for target in wake.targets:
             key = (wake.thread_id, target)
             wake_matrix[key] = wake_matrix.get(key, 0) + 1
-    if short_fraction < 0.5 and len(wakes) < weights.ssc_min_events:
-        return []
-    return [
-        Finding(
-            problem=Problem.SSC,
-            kind=OCALL,
-            call="sdk synchronisation",
-            recommendations=(Recommendation.HYBRID_SYNC,),
-            message=(
-                f"{len(sleeps)} sleep and {len(wakes)} wake ocalls observed; "
-                f"{short_fraction:.0%} of sleeps shorter than "
-                f"{weights.ssc_short_sleep_ns / 1000:.0f}us — locks are held "
-                "briefly, so spinning in-enclave would avoid most transitions"
-            ),
-            evidence={
-                "sleeps": len(sleeps),
-                "wakes": len(wakes),
-                "short_sleep_fraction": short_fraction,
-                "wake_matrix": wake_matrix,
-            },
-        )
-    ]
+    return ssc_finding_from_counts(
+        len(sync_events),
+        len(sleeps),
+        len(wakes),
+        len(sleep_durations),
+        int((sleep_durations < weights.ssc_short_sleep_ns).sum()),
+        wake_matrix,
+        weights,
+    )
 
 
 # --------------------------------------------------------------------------
@@ -404,28 +521,20 @@ def detect_ssc(
 # --------------------------------------------------------------------------
 
 
-def detect_paging(
-    calls: Calls,
-    paging: Sequence[PagingRecord],
+def paging_findings_from_counts(
+    affected: dict[str, int],
+    page_in: int,
+    page_out: int,
+    distinct_pages: int,
 ) -> list[Finding]:
-    """Flag EPC paging, attributing events to the ecalls they fell into."""
-    if not paging:
+    """Paging findings (§3.5) from attribution counts.
+
+    ``affected`` maps ecall name to the number of paging events that fell
+    inside its executions, in first-affected (chronological) insertion
+    order — ties in the count sort preserve that order.
+    """
+    if not (page_in or page_out):
         return []
-    cols = as_columns(calls)
-    page_in = sum(1 for p in paging if p.direction == "page_in")
-    page_out = len(paging) - page_in
-    ecall_rows = np.flatnonzero(np.asarray(cols.kind, dtype=object) == ECALL)
-    ecall_rows = ecall_rows[np.argsort(cols.start_ns[ecall_rows], kind="stable")]
-    starts = cols.start_ns[ecall_rows]
-    ends = cols.end_ns[ecall_rows]
-    names = cols.name[ecall_rows]
-    affected: dict[str, int] = {}
-    for record in paging:
-        idx = int(np.searchsorted(starts, record.timestamp_ns, side="right")) - 1
-        if 0 <= idx < len(ecall_rows) and ends[idx] >= record.timestamp_ns:
-            name = str(names[idx])
-            affected[name] = affected.get(name, 0) + 1
-    distinct_pages = len({(p.enclave_id, p.vaddr) for p in paging})
     return [
         Finding(
             problem=Problem.PAGING,
@@ -462,3 +571,28 @@ def detect_paging(
             evidence={"page_in": page_in, "page_out": page_out},
         )
     ]
+
+
+def detect_paging(
+    calls: Calls,
+    paging: Sequence[PagingRecord],
+) -> list[Finding]:
+    """Flag EPC paging, attributing events to the ecalls they fell into."""
+    if not paging:
+        return []
+    cols = as_columns(calls)
+    page_in = sum(1 for p in paging if p.direction == "page_in")
+    page_out = len(paging) - page_in
+    ecall_rows = np.flatnonzero(np.asarray(cols.kind, dtype=object) == ECALL)
+    ecall_rows = ecall_rows[np.argsort(cols.start_ns[ecall_rows], kind="stable")]
+    starts = cols.start_ns[ecall_rows]
+    ends = cols.end_ns[ecall_rows]
+    names = cols.name[ecall_rows]
+    affected: dict[str, int] = {}
+    for record in paging:
+        idx = int(np.searchsorted(starts, record.timestamp_ns, side="right")) - 1
+        if 0 <= idx < len(ecall_rows) and ends[idx] >= record.timestamp_ns:
+            name = str(names[idx])
+            affected[name] = affected.get(name, 0) + 1
+    distinct_pages = len({(p.enclave_id, p.vaddr) for p in paging})
+    return paging_findings_from_counts(affected, page_in, page_out, distinct_pages)

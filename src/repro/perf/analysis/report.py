@@ -23,18 +23,26 @@ from repro.sdk.edl import EnclaveDefinition
 DEFAULT_TRANSITION_NS = 2_130  # §2.3.1 baseline if the trace lacks metadata
 
 
-def availability_from_faults(faults) -> list[dict]:
-    """Per-workload availability summaries from a trace's ``serve:*`` rows.
+class FaultAccumulator:
+    """Folds fault rows into kind counts and availability summaries.
 
     Mirrors :meth:`repro.workloads.serving.ServingStats.summary` so the
     offline analyser reproduces the numbers a live campaign reported:
     request counts, retries, shed/failed totals and nearest-rank latency
     percentiles parsed back out of ``serve:request`` details (``ok +N ns``).
+    Both the in-memory and streaming analysers fold through this class, so
+    the fault/availability sections cannot drift between them.  Per-request
+    latencies are retained until :meth:`availability` (the percentiles need
+    the full ordered set); everything else is O(distinct kinds).
     """
-    per_workload: dict[str, dict] = {}
 
-    def bucket(workload: str) -> dict:
-        return per_workload.setdefault(
+    def __init__(self) -> None:
+        self.total = 0
+        self.counts: dict[str, int] = {}
+        self._per_workload: dict[str, dict] = {}
+
+    def _bucket(self, workload: str) -> dict:
+        return self._per_workload.setdefault(
             workload,
             {
                 "workload": workload,
@@ -47,10 +55,12 @@ def availability_from_faults(faults) -> list[dict]:
             },
         )
 
-    for fault in faults:
+    def add(self, fault) -> None:
+        self.total += 1
+        self.counts[fault.kind] = self.counts.get(fault.kind, 0) + 1
         if not fault.kind.startswith("serve:"):
-            continue
-        entry = bucket(fault.call or "?")
+            return
+        entry = self._bucket(fault.call or "?")
         if fault.kind == "serve:request":
             entry["attempted"] += 1
             entry["succeeded"] += 1
@@ -65,23 +75,81 @@ def availability_from_faults(faults) -> list[dict]:
             entry["attempted"] += 1
             entry["failed"] += 1
 
-    def nearest_rank(ordered: list[int], pct: float) -> int:
-        if not ordered:
-            return 0
-        rank = max(0, min(len(ordered) - 1, int(round(pct / 100.0 * len(ordered))) - 1))
-        return ordered[rank]
+    def availability(self) -> list[dict]:
+        """Finalise the per-workload summaries (consumes the latencies)."""
 
-    summaries = []
-    for workload in sorted(per_workload):
-        entry = per_workload[workload]
-        ordered = sorted(entry.pop("latencies"))
-        entry["success_rate"] = (
-            entry["succeeded"] / entry["attempted"] if entry["attempted"] else 1.0
+        def nearest_rank(ordered: list[int], pct: float) -> int:
+            if not ordered:
+                return 0
+            rank = max(
+                0, min(len(ordered) - 1, int(round(pct / 100.0 * len(ordered))) - 1)
+            )
+            return ordered[rank]
+
+        summaries = []
+        for workload in sorted(self._per_workload):
+            entry = self._per_workload[workload]
+            ordered = sorted(entry.pop("latencies"))
+            entry["success_rate"] = (
+                entry["succeeded"] / entry["attempted"] if entry["attempted"] else 1.0
+            )
+            entry["p50_ns"] = nearest_rank(ordered, 50)
+            entry["p99_ns"] = nearest_rank(ordered, 99)
+            summaries.append(entry)
+        return summaries
+
+
+def availability_from_faults(faults) -> list[dict]:
+    """Per-workload availability summaries from a trace's ``serve:*`` rows."""
+    acc = FaultAccumulator()
+    for fault in faults:
+        acc.add(fault)
+    return acc.availability()
+
+
+def apply_fault_annotations(
+    report: "AnalysisReport",
+    acc: FaultAccumulator,
+    trace_state: Optional[str],
+) -> None:
+    """Attach the fault/recovery section and notes to a report.
+
+    Shared by :class:`Analyzer` and the streaming analyser so both render
+    the exact same fault section for the same trace.
+    """
+    if not acc.total and trace_state is None:
+        return
+    counts = acc.counts
+    report.trace_state = trace_state
+    report.fault_counts = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+    report.truncated_calls = counts.get("truncated", 0)
+    report.availability = acc.availability()
+    report.watchdog_counts = sorted(
+        (kv for kv in counts.items() if kv[0].startswith("watchdog:")),
+        key=lambda kv: kv[0],
+    )
+    losses = counts.get("inject:loss", 0)
+    recreates = counts.get("recover:recreate", 0)
+    retries = counts.get("recover:retry", 0)
+    if losses or recreates:
+        report.notes.append(
+            f"enclave loss: {losses} lost, {recreates} re-created, "
+            f"{retries} calls retried — statistics include retried calls"
         )
-        entry["p50_ns"] = nearest_rank(ordered, 50)
-        entry["p99_ns"] = nearest_rank(ordered, 99)
-        summaries.append(entry)
-    return summaries
+    if trace_state is not None:
+        report.notes.append(
+            f"trace was {trace_state}: {report.truncated_calls} call(s) "
+            "closed at the trace horizon, not by returning"
+        )
+
+
+def apply_edl_note(report: "AnalysisReport", definition) -> None:
+    """Append the no-EDL caveat (shared by both analyser paths)."""
+    if definition is None:
+        report.notes.append(
+            "no EDL supplied: allow-list narrowing reports minimal observed "
+            "sets; pass the enclave's EDL for removable-entry analysis"
+        )
 
 
 @dataclass
@@ -211,10 +279,21 @@ class Analyzer:
         self.db = database
         self.definition = definition
         self.weights = weights or det.AnalyzerWeights()
+        self._cols = None
+
+    def _columns(self):
+        """The trace's call columns, fetched once and shared.
+
+        The report summary, scatter series, histograms and call graph all
+        work off this one read instead of re-querying the database.
+        """
+        if self._cols is None:
+            self._cols = self.db.call_columns()
+        return self._cols
 
     def run(self) -> AnalysisReport:
         """Run every analysis over the trace."""
-        calls = self.db.call_columns()
+        calls = self._columns()
         sync_events = self.db.sync_events()
         paging = self.db.paging_events()
         faults = self.db.fault_events()
@@ -257,51 +336,33 @@ class Analyzer:
             aex_total=int(calls.aex_count.sum()),
             paging_events=len(paging),
         )
-        if faults or trace_state is not None:
-            counts: dict[str, int] = {}
-            for fault in faults:
-                counts[fault.kind] = counts.get(fault.kind, 0) + 1
-            report.trace_state = trace_state
-            report.fault_counts = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
-            report.truncated_calls = counts.get("truncated", 0)
-            report.availability = availability_from_faults(faults)
-            report.watchdog_counts = sorted(
-                (kv for kv in counts.items() if kv[0].startswith("watchdog:")),
-                key=lambda kv: kv[0],
-            )
-            losses = counts.get("inject:loss", 0)
-            recreates = counts.get("recover:recreate", 0)
-            retries = counts.get("recover:retry", 0)
-            if losses or recreates:
-                report.notes.append(
-                    f"enclave loss: {losses} lost, {recreates} re-created, "
-                    f"{retries} calls retried — statistics include retried calls"
-                )
-            if trace_state is not None:
-                report.notes.append(
-                    f"trace was {trace_state}: {report.truncated_calls} call(s) "
-                    "closed at the trace horizon, not by returning"
-                )
-        if self.definition is None:
-            report.notes.append(
-                "no EDL supplied: allow-list narrowing reports minimal observed "
-                "sets; pass the enclave's EDL for removable-entry analysis"
-            )
+        fault_acc = FaultAccumulator()
+        for fault in faults:
+            fault_acc.add(fault)
+        apply_fault_annotations(report, fault_acc, trace_state)
+        apply_edl_note(report, self.definition)
         return report
 
     # -- visualisation helpers -------------------------------------------------
 
+    def _select(self, kind: str, name: str):
+        """Filter the shared columns — same rows/order as a filtered query."""
+        cols = self._columns()
+        kinds = np.asarray(cols.kind, dtype=object)
+        names = np.asarray(cols.name, dtype=object)
+        return cols.select((kinds == kind) & (names == name))
+
     def histogram(self, kind: str, name: str, bins: int = 100) -> stats_mod.Histogram:
         """Execution-time histogram for one call (Figure 7)."""
-        return stats_mod.histogram(self.db.call_columns(kind=kind, name=name), bins=bins)
+        return stats_mod.histogram(self._select(kind, name), bins=bins)
 
     def scatter(self, kind: str, name: str):
         """(start, duration) scatter series for one call (Figure 8)."""
-        return stats_mod.scatter_series(self.db.call_columns(kind=kind, name=name))
+        return stats_mod.scatter_series(self._select(kind, name))
 
     def call_graph(self):
         """Name-level call graph with direct/indirect edges (Figure 5)."""
-        return callgraph_mod.build_call_graph(self.db.call_columns())
+        return callgraph_mod.build_call_graph(self._columns())
 
     def call_graph_dot(self) -> str:
         """Figure 5-style Graphviz DOT text."""

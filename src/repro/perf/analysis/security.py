@@ -13,6 +13,12 @@ Three hints, all derived from observed behaviour plus (optionally) the EDL:
 
 Inputs are coerced to :class:`~repro.perf.columns.CallColumns`; the
 parent-kind joins run on arrays rather than per-event dict lookups.
+
+Each hint reduces the trace to plain sets/counts first (nested-parent
+sets, observed allow sets, per-call counts), then hands those to a
+``*_findings_from_*`` builder holding the message formats.  The streaming
+analyser accumulates the same sets chunk by chunk and calls the same
+builders, keeping both paths byte-identical.
 """
 
 from __future__ import annotations
@@ -41,21 +47,19 @@ def _nested_ecall_pairs(cols: CallColumns) -> tuple[np.ndarray, np.ndarray, np.n
     return ecall_rows, parent_pos, has_ocall_parent
 
 
-def private_ecall_candidates(calls: Calls) -> list[Finding]:
-    """Ecalls only ever issued during ocalls → recommend ``private``."""
-    cols = as_columns(calls)
-    ecall_rows, parent_pos, nested = _nested_ecall_pairs(cols)
-    if len(ecall_rows) == 0:
-        return []
-    always_nested: dict[str, set[str]] = {}
-    nested_names = cols.name[ecall_rows[nested]]
-    parent_names = cols.name[parent_pos[nested]]
-    for child, parent in zip(nested_names.tolist(), parent_names.tolist()):
-        always_nested.setdefault(child, set()).add(parent)
-    disqualified = set(cols.name[ecall_rows[~nested]].tolist())
+def private_ecall_findings_from_sets(
+    nested_under: dict[str, set[str]],
+    disqualified: set[str],
+) -> list[Finding]:
+    """Private-ecall hints from the nested-parent / top-level name sets.
+
+    ``nested_under`` maps an ecall name to the ocall names it was observed
+    nested under; ``disqualified`` names ecalls seen at top level at least
+    once.
+    """
     findings = []
-    for name in sorted(set(always_nested) - disqualified):
-        parents = sorted(always_nested[name])
+    for name in sorted(set(nested_under) - disqualified):
+        parents = sorted(nested_under[name])
         findings.append(
             Finding(
                 problem=Problem.INTERFACE,
@@ -73,6 +77,21 @@ def private_ecall_candidates(calls: Calls) -> list[Finding]:
     return findings
 
 
+def private_ecall_candidates(calls: Calls) -> list[Finding]:
+    """Ecalls only ever issued during ocalls → recommend ``private``."""
+    cols = as_columns(calls)
+    ecall_rows, parent_pos, nested = _nested_ecall_pairs(cols)
+    if len(ecall_rows) == 0:
+        return []
+    always_nested: dict[str, set[str]] = {}
+    nested_names = cols.name[ecall_rows[nested]]
+    parent_names = cols.name[parent_pos[nested]]
+    for child, parent in zip(nested_names.tolist(), parent_names.tolist()):
+        always_nested.setdefault(child, set()).add(parent)
+    disqualified = set(cols.name[ecall_rows[~nested]].tolist())
+    return private_ecall_findings_from_sets(always_nested, disqualified)
+
+
 def observed_allow_sets(calls: Calls) -> dict[str, set[str]]:
     """Ocall name → set of ecall names actually issued during it."""
     cols = as_columns(calls)
@@ -87,16 +106,11 @@ def observed_allow_sets(calls: Calls) -> dict[str, set[str]]:
     return observed
 
 
-def allowlist_findings(
-    calls: Calls,
+def allowlist_findings_from_observed(
+    observed: dict[str, set[str]],
     definition: Optional[EnclaveDefinition] = None,
 ) -> list[Finding]:
-    """Compare declared ``allow(...)`` lists against observed behaviour.
-
-    With an EDL: report removable entries per ocall.  Without one: state
-    the smallest allow set that would have sufficed for this workload.
-    """
-    observed = observed_allow_sets(calls)
+    """Allow-list hints from the observed ocall → nested-ecall sets."""
     findings: list[Finding] = []
     if definition is None:
         for ocall_name, ecalls in sorted(observed.items()):
@@ -142,13 +156,23 @@ def allowlist_findings(
     return findings
 
 
-def user_check_findings(
-    definition: EnclaveDefinition,
-    calls: Calls = (),
+def allowlist_findings(
+    calls: Calls,
+    definition: Optional[EnclaveDefinition] = None,
 ) -> list[Finding]:
-    """Flag every ``user_check`` pointer, with observed call counts."""
-    cols = as_columns(calls)
-    counts = {key: len(rows) for key, rows in cols.group_indices()}
+    """Compare declared ``allow(...)`` lists against observed behaviour.
+
+    With an EDL: report removable entries per ocall.  Without one: state
+    the smallest allow set that would have sufficed for this workload.
+    """
+    return allowlist_findings_from_observed(observed_allow_sets(calls), definition)
+
+
+def user_check_findings_from_counts(
+    definition: EnclaveDefinition,
+    counts: dict[tuple[str, str], int],
+) -> list[Finding]:
+    """user_check hints from per-(kind, name) observed call counts."""
     findings = []
     for kind, call_name, param in definition.user_check_params():
         observed = counts.get((kind, call_name), 0)
@@ -168,3 +192,13 @@ def user_check_findings(
             )
         )
     return findings
+
+
+def user_check_findings(
+    definition: EnclaveDefinition,
+    calls: Calls = (),
+) -> list[Finding]:
+    """Flag every ``user_check`` pointer, with observed call counts."""
+    cols = as_columns(calls)
+    counts = {key: len(rows) for key, rows in cols.group_indices()}
+    return user_check_findings_from_counts(definition, counts)

@@ -1,0 +1,813 @@
+"""Streaming (windowed-memory) analyser — the in-memory path's exact twin.
+
+The offline analyser materialises the whole trace; this module folds the
+same analyses over bounded-size column batches from
+:meth:`~repro.perf.database.TraceDatabase.call_columns_chunks` instead,
+so a multi-GB trace is analysed in O(window) transient memory plus the
+per-call-site accumulator state.
+
+**Byte-identity is the contract.**  Every decision goes through the same
+``*_finding_from_counts`` builders as the in-memory detectors, and every
+float that appears in a report is reproduced exactly:
+
+* threshold *fractions* are accumulated as integer counts and divided
+  once (``(arr < t).mean()`` equals ``count / total`` for bool arrays);
+* ecall *execution-time* thresholds use the identity
+  ``max(d - T, 0) < t  ⇔  d < T + t`` so no subtracted array is kept;
+* per-call mean/std are order-dependent under NumPy's pairwise
+  summation, so each call site keeps its raw ``(start, id, duration)``
+  triples (24 bytes/row — far below the materialised row tuples the
+  in-memory reader peaks at) and re-sorts them to the global
+  ``(start, id)`` reader order at finalise time.
+
+Batches must arrive **thread-major** (``ORDER BY thread_id, start_ns,
+id``): each thread is one contiguous run, so the direct-parent window and
+the Figure 4 indirect-parent chains reset per thread and stay small.  The
+fold relies on the event logger's recording invariants — a call's direct
+parent is on the same thread and its interval encloses the child's start.
+
+A :class:`CallFold` is plain picklable state with a commutative
+:meth:`CallFold.merge`, which is what lets the parallel analyser shard a
+trace by thread across spawn-context workers and still match the
+sequential result exactly (see :mod:`repro.perf.analysis.parallel`).
+Detectors that need cross-thread global state — SSC sleep matching,
+paging attribution, fault/availability summaries — run as sequential
+coordinator passes over the (small) side tables instead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+import numpy as np
+
+from repro.perf.analysis import callgraph as callgraph_mod
+from repro.perf.analysis import detectors as det
+from repro.perf.analysis import security as sec
+from repro.perf.analysis import stats as stats_mod
+from repro.perf.columns import NO_PARENT, CallColumns
+from repro.perf.events import ECALL, OCALL
+
+_SEP = "\x00"  # sorts below any name character: string sort == tuple sort
+
+
+def _join2(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.array([x + _SEP + y for x, y in zip(a, b)], dtype=object)
+
+
+def _join4(a: np.ndarray, b: np.ndarray, c: np.ndarray, d: np.ndarray) -> np.ndarray:
+    return np.array(
+        [w + _SEP + x + _SEP + y + _SEP + z for w, x, y, z in zip(a, b, c, d)],
+        dtype=object,
+    )
+
+
+class _GroupState:
+    """Accumulator for one (kind, name) call site."""
+
+    __slots__ = (
+        "kind",
+        "name",
+        "count",
+        "first_start",
+        "first_id",
+        "call_index",
+        "is_sync_first",
+        "starts",
+        "ids",
+        "durs",
+        "n1",
+        "n5",
+        "n10",
+    )
+
+    def __init__(self, kind: str, name: str) -> None:
+        self.kind = kind
+        self.name = name
+        self.count = 0
+        self.first_start: Optional[int] = None  # earliest (start, id) row
+        self.first_id = 0
+        self.call_index = 0
+        self.is_sync_first = False
+        self.starts: list[np.ndarray] = []
+        self.ids: list[np.ndarray] = []
+        self.durs: list[np.ndarray] = []
+        self.n1 = 0  # execution-time threshold counts (Equation 1)
+        self.n5 = 0
+        self.n10 = 0
+
+    def update_first(
+        self, start: int, event_id: int, call_index: int, is_sync: bool
+    ) -> None:
+        if self.first_start is None or (start, event_id) < (self.first_start, self.first_id):
+            self.first_start, self.first_id = start, event_id
+            self.call_index = call_index
+            self.is_sync_first = is_sync
+
+    def merge(self, other: "_GroupState") -> None:
+        self.count += other.count
+        self.starts += other.starts
+        self.ids += other.ids
+        self.durs += other.durs
+        self.n1 += other.n1
+        self.n5 += other.n5
+        self.n10 += other.n10
+        if other.first_start is not None:
+            self.update_first(
+                other.first_start, other.first_id, other.call_index, other.is_sync_first
+            )
+
+    def sorted_durations(self) -> np.ndarray:
+        """Durations re-sorted to the global ``(start, id)`` reader order."""
+        if not self.durs:
+            return np.empty(0, dtype=np.int64)
+        starts = np.concatenate(self.starts)
+        ids = np.concatenate(self.ids)
+        durs = np.concatenate(self.durs)
+        return durs[np.lexsort((ids, starts))]
+
+
+class _ThreadState:
+    """Transient per-thread parent window and Figure 4 chain tails.
+
+    ``window`` maps an *open* call id (one whose interval may still
+    enclose future rows of this thread) to ``(start, end, kind, name)``.
+    ``chains`` maps ``(parent_id, kind)`` to the ``(end, kind, name)`` of
+    the chain's last element.  ``dangling`` remembers parent ids that
+    never resolved (rows referencing calls an aborted logger lost), whose
+    chains must survive window-based eviction.
+    """
+
+    __slots__ = ("thread_id", "window", "chains", "dangling")
+
+    def __init__(self, thread_id: int) -> None:
+        self.thread_id = thread_id
+        self.window: dict[int, tuple[int, int, str, str]] = {}
+        self.chains: dict[tuple[int, str], tuple[int, str, str]] = {}
+        self.dangling: set[int] = set()
+
+
+class CallFold:
+    """Folds thread-major call batches into every per-call accumulator.
+
+    Picklable; :meth:`merge` is commutative over disjoint thread sets, so
+    shard folds combine into exactly the sequential fold's state.
+    """
+
+    def __init__(
+        self,
+        transition_round_trip_ns: int,
+        weights: det.AnalyzerWeights,
+        sleep_counts: Optional[dict[int, int]] = None,
+    ) -> None:
+        self.transition_ns = int(transition_round_trip_ns)
+        self.weights = weights
+        # Sleep call_id → multiplicity, from the coordinator's sync pass.
+        self.sleep_counts = dict(sleep_counts or {})
+        self._sleep_ids: Optional[np.ndarray] = (
+            np.fromiter(
+                sorted(self.sleep_counts), dtype=np.int64, count=len(self.sleep_counts)
+            )
+            if self.sleep_counts
+            else None
+        )
+        self.groups: dict[tuple[str, str], _GroupState] = {}
+        self.ecall_rows = 0
+        self.ocall_rows = 0
+        self.ecall_short = 0
+        self.ocall_short = 0
+        self.aex_total = 0
+        # (kind, name, parent_name) → [total, s10, s20, e10, e20]
+        self.reorder_counts: dict[tuple[str, str, str], list[int]] = {}
+        # (ckind, cname, pkind, pname) → [pairs, n1, n5, n10, n20]
+        self.merge_counts: dict[tuple[str, str, str, str], list[int]] = {}
+        # ((pkind, pname), (ckind, cname)) → count, sync-unfiltered
+        self.direct_edges: dict[tuple[tuple[str, str], tuple[str, str]], int] = {}
+        self.indirect_edges: dict[tuple[tuple[str, str], tuple[str, str]], int] = {}
+        # Security: ecall → ocalls it nested under / ecalls seen top level.
+        self.nested_under: dict[str, set[str]] = {}
+        self.disqualified: set[str] = set()
+        self.observed_allow: dict[str, set[str]] = {}
+        self.ssc_matched = 0
+        self.ssc_short = 0
+        self._thread: Optional[_ThreadState] = None
+
+    # -- folding ------------------------------------------------------------
+
+    def fold(self, cols: CallColumns) -> None:
+        """Fold one thread-major batch into the accumulators."""
+        n = len(cols)
+        if n == 0:
+            return
+        durs = cols.duration_ns()
+        kinds = np.asarray(cols.kind, dtype=object)
+        is_ecall = kinds == ECALL
+        w = self.weights
+        self.ecall_rows += int(is_ecall.sum())
+        self.ocall_rows += int((kinds == OCALL).sum())
+        # max(d - T, 0) < t  ⇔  d < T + t  (ecall execution-time identity)
+        self.ecall_short += int(
+            (durs[is_ecall] < self.transition_ns + w.short_call_ns).sum()
+        )
+        self.ocall_short += int((durs[~is_ecall] < w.short_call_ns).sum())
+        self.aex_total += int(cols.aex_count.sum())
+        self._fold_sleep_matches(cols, durs)
+        self._fold_groups(cols, durs)
+        boundaries = np.flatnonzero(np.diff(cols.thread_id)) + 1
+        for seg in np.split(np.arange(n), boundaries):
+            self._fold_segment(cols, seg)
+
+    def _fold_sleep_matches(self, cols: CallColumns, durs: np.ndarray) -> None:
+        if self._sleep_ids is None:
+            return
+        hits = np.flatnonzero(np.isin(cols.event_id, self._sleep_ids))
+        threshold = self.weights.ssc_short_sleep_ns
+        for pos in hits.tolist():
+            mult = self.sleep_counts[int(cols.event_id[pos])]
+            self.ssc_matched += mult
+            if durs[pos] < threshold:
+                self.ssc_short += mult
+
+    def _fold_groups(self, cols: CallColumns, durs: np.ndarray) -> None:
+        codes, keys = cols.group_codes()
+        order = np.argsort(codes, kind="stable")
+        boundaries = np.flatnonzero(np.diff(codes[order])) + 1
+        for bucket in np.split(order, boundaries):
+            kind, name = keys[int(codes[bucket[0]])]
+            group = self.groups.get((kind, name))
+            if group is None:
+                group = self.groups[(kind, name)] = _GroupState(kind, name)
+            starts = cols.start_ns[bucket]
+            ids = cols.event_id[bucket]
+            d = durs[bucket]
+            group.count += len(bucket)
+            group.starts.append(starts)
+            group.ids.append(ids)
+            group.durs.append(d)
+            # Earliest (start, id) row carries call_index and the group's
+            # is_sync flag, matching group_indices()' first-appearance row.
+            tied = bucket[starts == starts.min()]
+            first = int(tied[np.argmin(cols.event_id[tied])])
+            group.update_first(
+                int(cols.start_ns[first]),
+                int(cols.event_id[first]),
+                int(cols.call_index[first]),
+                bool(cols.is_sync[first]),
+            )
+            base = self.transition_ns if kind == ECALL else 0
+            group.n1 += int((d < base + 1_000).sum())
+            group.n5 += int((d < base + 5_000).sum())
+            group.n10 += int((d < base + 10_000).sum())
+
+    def _fold_segment(self, cols: CallColumns, seg: np.ndarray) -> None:
+        """One contiguous same-thread run: parents, chains, window carry."""
+        tid = int(cols.thread_id[seg[0]])
+        state = self._thread
+        if state is None or state.thread_id != tid:
+            # Thread-major order: the previous thread is complete — its
+            # window and chains can never be referenced again.
+            state = self._thread = _ThreadState(tid)
+        self._fold_direct_parents(cols, seg, state)
+        self._fold_chains(cols, seg, state)
+        self._advance_window(cols, seg, state)
+
+    def _fold_direct_parents(
+        self, cols: CallColumns, seg: np.ndarray, state: _ThreadState
+    ) -> None:
+        pids_all = cols.parent_id[seg]
+        with_parent = np.flatnonzero(pids_all != NO_PARENT)
+        resolved = np.zeros(len(seg), dtype=bool)
+        rows: Optional[np.ndarray] = None
+        if len(with_parent):
+            rows_wp = seg[with_parent]
+            ppos = cols.positions_of(pids_all[with_parent])
+            in_chunk = ppos >= 0
+            resolved[with_parent[in_chunk]] = True
+            pos_ic = ppos[in_chunk]
+            # Parents in earlier chunks come out of the carried window;
+            # only boundary-crossing rows pay this Python loop.
+            extra: list[tuple[int, int, int, int, str, str]] = []
+            for j in np.flatnonzero(~in_chunk).tolist():
+                pid = int(pids_all[with_parent[j]])
+                entry = state.window.get(pid)
+                if entry is None:
+                    state.dangling.add(pid)
+                else:
+                    extra.append((int(with_parent[j]), int(rows_wp[j])) + entry)
+            rows = np.concatenate(
+                [rows_wp[in_chunk], np.array([e[1] for e in extra], dtype=np.int64)]
+            )
+            pstart = np.concatenate(
+                [cols.start_ns[pos_ic], np.array([e[2] for e in extra], dtype=np.int64)]
+            )
+            pend = np.concatenate(
+                [cols.end_ns[pos_ic], np.array([e[3] for e in extra], dtype=np.int64)]
+            )
+            pkind = np.concatenate(
+                [cols.kind[pos_ic], np.array([e[4] for e in extra], dtype=object)]
+            )
+            pname = np.concatenate(
+                [cols.name[pos_ic], np.array([e[5] for e in extra], dtype=object)]
+            )
+            for e in extra:
+                resolved[e[0]] = True
+        if rows is not None and len(rows):
+            ckind = cols.kind[rows]
+            cname = cols.name[rows]
+            self._bump_edges(self.direct_edges, pkind, pname, ckind, cname)
+            # Security sets: ecalls nested under ocalls vs anything else.
+            ecall_child = ckind == ECALL
+            under_ocall = ecall_child & (pkind == OCALL)
+            for pair in np.unique(_join2(cname[under_ocall], pname[under_ocall])).tolist():
+                child, parent = pair.split(_SEP)
+                self.nested_under.setdefault(child, set()).add(parent)
+                self.observed_allow.setdefault(parent, set()).add(child)
+            for child in np.unique(cname[ecall_child & ~under_ocall]).tolist():
+                self.disqualified.add(child)
+            # Equation 2 offsets, grouped per (kind, name, parent name).
+            ns = ~cols.is_sync[rows]
+            if ns.any():
+                rr = rows[ns]
+                from_start = cols.start_ns[rr] - pstart[ns]
+                from_end = pend[ns] - cols.end_ns[rr]
+                keys = np.array(
+                    [
+                        k + _SEP + n + _SEP + p
+                        for k, n, p in zip(ckind[ns], cname[ns], pname[ns])
+                    ],
+                    dtype=object,
+                )
+                uniq, inverse = np.unique(keys, return_inverse=True)
+                sums = [np.bincount(inverse, minlength=len(uniq))]
+                for mask in (
+                    from_start <= 10_000,
+                    from_start <= 20_000,
+                    from_end <= 10_000,
+                    from_end <= 20_000,
+                ):
+                    sums.append(
+                        np.bincount(inverse, weights=mask, minlength=len(uniq))
+                    )
+                for j, key in enumerate(uniq.tolist()):
+                    counts = self.reorder_counts.setdefault(
+                        tuple(key.split(_SEP)), [0, 0, 0, 0, 0]
+                    )
+                    for slot in range(5):
+                        counts[slot] += int(sums[slot][j])
+        # Ecalls with no parent, a dangling parent, or an ecall parent were
+        # observed outside any ocall — never private candidates.
+        loose = seg[(np.asarray(cols.kind[seg], dtype=object) == ECALL) & ~resolved]
+        for child in np.unique(cols.name[loose]).tolist():
+            self.disqualified.add(child)
+
+    def _fold_chains(self, cols: CallColumns, seg: np.ndarray, state: _ThreadState) -> None:
+        """Figure 4 chains: consecutive same-(parent, kind) rows in (start, id) order."""
+        pids = cols.parent_id[seg]
+        kind_codes = np.unique(np.asarray(cols.kind[seg], dtype=object), return_inverse=True)[1]
+        order = np.lexsort((cols.event_id[seg], cols.start_ns[seg], kind_codes, pids))
+        srows = seg[order]
+        spids = pids[order]
+        scodes = kind_codes[order]
+        same = np.zeros(len(seg), dtype=bool)
+        if len(seg) > 1:
+            same[1:] = (spids[1:] == spids[:-1]) & (scodes[1:] == scodes[:-1])
+        # Links fully inside this chunk, vectorised.
+        link_at = np.flatnonzero(same)
+        if len(link_at):
+            prev = srows[link_at - 1]
+            self._add_links(
+                cols, srows[link_at], cols.end_ns[prev], cols.kind[prev], cols.name[prev]
+            )
+        # Each key group's head may continue a chain carried from the
+        # previous chunk of this thread.
+        if state.chains:
+            carried: list[tuple[int, int, str, str]] = []
+            for i in np.flatnonzero(~same).tolist():
+                row = int(srows[i])
+                tail = state.chains.get((int(spids[i]), str(cols.kind[row])))
+                if tail is not None:
+                    carried.append((row,) + tail)
+            if carried:
+                self._add_links(
+                    cols,
+                    np.array([c[0] for c in carried], dtype=np.int64),
+                    np.array([c[1] for c in carried], dtype=np.int64),
+                    np.array([c[2] for c in carried], dtype=object),
+                    np.array([c[3] for c in carried], dtype=object),
+                )
+        # Each key group's last row becomes the chain tail going forward.
+        tail_at = np.flatnonzero(~np.append(same[1:], False))
+        for i in tail_at.tolist():
+            row = int(srows[i])
+            state.chains[(int(spids[i]), str(cols.kind[row]))] = (
+                int(cols.end_ns[row]),
+                str(cols.kind[row]),
+                str(cols.name[row]),
+            )
+
+    def _add_links(
+        self,
+        cols: CallColumns,
+        rows: np.ndarray,
+        pend: np.ndarray,
+        pkind: np.ndarray,
+        pname: np.ndarray,
+    ) -> None:
+        ckind = cols.kind[rows]
+        cname = cols.name[rows]
+        self._bump_edges(self.indirect_edges, pkind, pname, ckind, cname)
+        ns = ~cols.is_sync[rows]  # Equation 3 filters sync *children* only
+        if not ns.any():
+            return
+        gaps = cols.start_ns[rows[ns]] - pend[ns]
+        keys = _join4(ckind[ns], cname[ns], pkind[ns], pname[ns])
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        sums = [np.bincount(inverse, minlength=len(uniq))]
+        for limit in (1_000, 5_000, 10_000, 20_000):
+            sums.append(np.bincount(inverse, weights=gaps <= limit, minlength=len(uniq)))
+        for j, key in enumerate(uniq.tolist()):
+            counts = self.merge_counts.setdefault(tuple(key.split(_SEP)), [0, 0, 0, 0, 0])
+            for slot in range(5):
+                counts[slot] += int(sums[slot][j])
+
+    @staticmethod
+    def _bump_edges(
+        edges: dict,
+        pkind: np.ndarray,
+        pname: np.ndarray,
+        ckind: np.ndarray,
+        cname: np.ndarray,
+    ) -> None:
+        if len(pkind) == 0:
+            return
+        uniq, counts = np.unique(_join4(pkind, pname, ckind, cname), return_counts=True)
+        for key, count in zip(uniq.tolist(), counts.tolist()):
+            pk, pn, ck, cn = key.split(_SEP)
+            edge = ((pk, pn), (ck, cn))
+            edges[edge] = edges.get(edge, 0) + int(count)
+
+    def _advance_window(self, cols: CallColumns, seg: np.ndarray, state: _ThreadState) -> None:
+        """Carry only still-open intervals; evict chains of closed parents.
+
+        Same-chunk parents resolve through ``positions_of``, so the carry
+        window only needs rows whose interval reaches past the segment's
+        last start — the calls still open at the chunk boundary.
+        """
+        last_start = int(cols.start_ns[seg[-1]])
+        for pid in [k for k, v in state.window.items() if v[1] < last_start]:
+            del state.window[pid]
+        still_open = seg[cols.end_ns[seg] >= last_start]
+        for row in still_open.tolist():
+            state.window[int(cols.event_id[row])] = (
+                int(cols.start_ns[row]),
+                int(cols.end_ns[row]),
+                str(cols.kind[row]),
+                str(cols.name[row]),
+            )
+        # A chain whose parent call has closed can never grow again; only
+        # open parents, top-level chains and dangling ids stay live.
+        dead = [
+            key
+            for key in state.chains
+            if key[0] != NO_PARENT
+            and key[0] not in state.window
+            and key[0] not in state.dangling
+        ]
+        for key in dead:
+            del state.chains[key]
+
+    # -- sharding ------------------------------------------------------------
+
+    def seal(self) -> "CallFold":
+        """Drop transient per-thread state (end of a shard's thread run)."""
+        self._thread = None
+        self._sleep_ids = None
+        return self
+
+    def merge(self, other: "CallFold") -> None:
+        """Fold another shard's sealed state into this one (commutative)."""
+        for key, group in other.groups.items():
+            mine = self.groups.get(key)
+            if mine is None:
+                self.groups[key] = group
+            else:
+                mine.merge(group)
+        self.ecall_rows += other.ecall_rows
+        self.ocall_rows += other.ocall_rows
+        self.ecall_short += other.ecall_short
+        self.ocall_short += other.ocall_short
+        self.aex_total += other.aex_total
+        self.ssc_matched += other.ssc_matched
+        self.ssc_short += other.ssc_short
+        for table, theirs in (
+            (self.reorder_counts, other.reorder_counts),
+            (self.merge_counts, other.merge_counts),
+        ):
+            for key, counts in theirs.items():
+                mine = table.get(key)
+                if mine is None:
+                    table[key] = counts
+                else:
+                    for i, c in enumerate(counts):
+                        mine[i] += c
+        for edges, theirs in (
+            (self.direct_edges, other.direct_edges),
+            (self.indirect_edges, other.indirect_edges),
+        ):
+            for key, count in theirs.items():
+                edges[key] = edges.get(key, 0) + count
+        for name, parents in other.nested_under.items():
+            self.nested_under.setdefault(name, set()).update(parents)
+        for name, children in other.observed_allow.items():
+            self.observed_allow.setdefault(name, set()).update(children)
+        self.disqualified.update(other.disqualified)
+
+    # -- finalisation --------------------------------------------------------
+
+    def _ordered_groups(self) -> list[_GroupState]:
+        """Groups in global first-appearance order (min ``(start, id)``)."""
+        return sorted(self.groups.values(), key=lambda g: (g.first_start, g.first_id))
+
+    def statistics(self) -> list[stats_mod.CallStatistics]:
+        """Per-call statistics, busiest first — ``all_statistics``'s twin."""
+        stats = [
+            stats_mod._statistics_from_values(g.kind, g.name, g.sorted_durations())
+            for g in self._ordered_groups()
+        ]
+        stats.sort(key=lambda s: s.total_ns, reverse=True)
+        return stats
+
+    def move_findings(self) -> list[det.Finding]:
+        findings = []
+        for key in sorted(self.groups):
+            g = self.groups[key]
+            if g.is_sync_first or g.count < self.weights.min_calls:
+                continue
+            finding = det.move_finding_from_counts(
+                g.kind, g.name, g.count, g.n1, g.n5, g.n10, self.weights
+            )
+            if finding is not None:
+                findings.append(finding)
+        return findings
+
+    def reorder_findings(self) -> list[det.Finding]:
+        findings = []
+        for key in sorted(self.reorder_counts):
+            total, s10, s20, e10, e20 = self.reorder_counts[key]
+            if total < self.weights.min_calls:
+                continue
+            finding = det.reorder_finding_from_counts(
+                key[0], key[1], key[2], total, s10, s20, e10, e20, self.weights
+            )
+            if finding is not None:
+                findings.append(finding)
+        return findings
+
+    def merge_findings(self) -> list[det.Finding]:
+        findings = []
+        for key in sorted(self.merge_counts):
+            pairs, n1, n5, n10, n20 = self.merge_counts[key]
+            ck, cn, pk, pn = key
+            finding = det.merge_finding_from_counts(
+                (ck, cn),
+                (pk, pn),
+                pairs,
+                n1,
+                n5,
+                n10,
+                n20,
+                self.groups[(ck, cn)].count,
+                self.groups[(pk, pn)].count,
+                self.weights,
+            )
+            if finding is not None:
+                findings.append(finding)
+        return findings
+
+    def security_findings(self, definition) -> list[det.Finding]:
+        findings = sec.private_ecall_findings_from_sets(
+            self.nested_under, self.disqualified
+        )
+        findings += sec.allowlist_findings_from_observed(self.observed_allow, definition)
+        if definition is not None:
+            counts = {key: g.count for key, g in self.groups.items()}
+            findings += sec.user_check_findings_from_counts(definition, counts)
+        return findings
+
+    def call_graph(self) -> nx.MultiDiGraph:
+        """Name-level call graph — ``build_call_graph``'s aggregate twin."""
+        graph = nx.MultiDiGraph()
+        for g in self._ordered_groups():
+            graph.add_node(
+                f"{g.kind}:{g.name}",
+                name=g.name,
+                kind=g.kind,
+                call_index=g.call_index,
+                count=g.count,
+            )
+        for edges, relation in (
+            (self.direct_edges, callgraph_mod.DIRECT),
+            (self.indirect_edges, callgraph_mod.INDIRECT),
+        ):
+            for (src, dst), count in sorted(edges.items()):
+                graph.add_edge(
+                    f"{src[0]}:{src[1]}",
+                    f"{dst[0]}:{dst[1]}",
+                    key=relation,
+                    relation=relation,
+                    count=count,
+                )
+        return graph
+
+    def distinct_counts(self) -> tuple[int, int]:
+        """(distinct ecall names, distinct ocall names)."""
+        ecalls = sum(1 for kind, _ in self.groups if kind == ECALL)
+        return ecalls, len(self.groups) - ecalls
+
+
+class StreamingAnalyzer:
+    """The streaming analyser: same report as :class:`~repro.perf.analysis.report.Analyzer`, windowed memory.
+
+    Runs four passes over the trace database:
+
+    1. a *sync* pass over the (small) sync table, producing the sleep
+       multiplicities and wake matrix the SSC detector needs;
+    2. the *call fold* — :class:`CallFold` over thread-major column
+       chunks, optionally sharded by thread across worker processes
+       (``jobs > 1``, see :mod:`repro.perf.analysis.parallel`);
+    3. a *paging* pass merge-joining time-ordered paging records against
+       time-ordered ecall intervals (equivalent to the in-memory
+       ``searchsorted`` attribution);
+    4. a *fault* pass folding fault rows through the shared
+       :class:`~repro.perf.analysis.report.FaultAccumulator`.
+
+    The resulting :class:`~repro.perf.analysis.report.AnalysisReport` is
+    byte-identical to the in-memory analyser's for any chunk size or job
+    count — the equivalence tests and the CI digest gate hold it to that.
+    """
+
+    def __init__(
+        self,
+        database,
+        definition=None,
+        weights: Optional[det.AnalyzerWeights] = None,
+        chunk_events: Optional[int] = None,
+        jobs: int = 1,
+    ) -> None:
+        from repro.perf.database import DEFAULT_CHUNK_EVENTS
+
+        self.db = database
+        self.definition = definition
+        self.weights = weights or det.AnalyzerWeights()
+        self.chunk_events = int(chunk_events or DEFAULT_CHUNK_EVENTS)
+        self.jobs = int(jobs)
+
+    def run(self):
+        from repro.perf.analysis import report as report_mod
+
+        db = self.db
+        counts = db.table_counts()
+        trace_state = db.get_meta("trace_state")
+        transition_ns = int(
+            db.get_meta(
+                "transition_round_trip_ns", str(report_mod.DEFAULT_TRANSITION_NS)
+            )
+        )
+        sync = self._sync_pass()
+        fold = self._fold_trace(transition_ns, sync["sleep_counts"])
+        self._fold = fold  # kept for `call_graph()` / live inspection
+
+        findings: list[det.Finding] = []
+        findings += fold.reorder_findings()
+        findings += fold.merge_findings()
+        findings += fold.move_findings()
+        findings += det.ssc_finding_from_counts(
+            sync["total"],
+            sync["sleeps"],
+            sync["wakes"],
+            fold.ssc_matched,
+            fold.ssc_short,
+            sync["wake_matrix"],
+            self.weights,
+        )
+        findings += det.paging_findings_from_counts(*self._paging_pass())
+        findings += fold.security_findings(self.definition)
+
+        distinct_ecalls, distinct_ocalls = fold.distinct_counts()
+        report = report_mod.AnalysisReport(
+            statistics=fold.statistics(),
+            findings=findings,
+            transition_round_trip_ns=transition_ns,
+            ecall_count=fold.ecall_rows,
+            ocall_count=fold.ocall_rows,
+            ecall_short_fraction=(
+                fold.ecall_short / fold.ecall_rows if fold.ecall_rows else 0.0
+            ),
+            ocall_short_fraction=(
+                fold.ocall_short / fold.ocall_rows if fold.ocall_rows else 0.0
+            ),
+            distinct_ecalls=distinct_ecalls,
+            distinct_ocalls=distinct_ocalls,
+            aex_total=fold.aex_total,
+            paging_events=counts["paging"],
+        )
+        fault_acc = report_mod.FaultAccumulator()
+        for chunk in db.fault_events_chunks(self.chunk_events):
+            for fault in chunk:
+                fault_acc.add(fault)
+        report_mod.apply_fault_annotations(report, fault_acc, trace_state)
+        report_mod.apply_edl_note(report, self.definition)
+        return report
+
+    def call_graph(self) -> nx.MultiDiGraph:
+        """Call graph from the last :meth:`run`'s fold (runs one if needed)."""
+        if not hasattr(self, "_fold"):
+            self.run()
+        return self._fold.call_graph()
+
+    # -- passes --------------------------------------------------------------
+
+    def _sync_pass(self) -> dict:
+        """Sleep multiplicities, wake matrix and sync totals (one pass)."""
+        from repro.perf.events import SyncKind
+
+        total = sleeps = wakes = 0
+        sleep_counts: dict[int, int] = {}
+        wake_matrix: dict[tuple[int, int], int] = {}
+        for rows in self.db.sync_rows_chunks(self.chunk_events):
+            for row in rows:
+                total += 1
+                kind = row[3]
+                if kind == SyncKind.SLEEP.value:
+                    sleeps += 1
+                    if row[4] is not None:
+                        call_id = int(row[4])
+                        sleep_counts[call_id] = sleep_counts.get(call_id, 0) + 1
+                elif kind == SyncKind.WAKE.value:
+                    wakes += 1
+                    thread_id = int(row[2])
+                    for target in (row[5] or "").split(","):
+                        if target:
+                            key = (thread_id, int(target))
+                            wake_matrix[key] = wake_matrix.get(key, 0) + 1
+        return {
+            "total": total,
+            "sleeps": sleeps,
+            "wakes": wakes,
+            "sleep_counts": sleep_counts,
+            "wake_matrix": wake_matrix,
+        }
+
+    def _fold_trace(self, transition_ns: int, sleep_counts: dict[int, int]) -> CallFold:
+        if self.jobs > 1 and self.db.path != ":memory:":
+            from repro.perf.analysis.parallel import parallel_fold
+
+            fold = parallel_fold(
+                self.db,
+                transition_ns,
+                self.weights,
+                sleep_counts,
+                jobs=self.jobs,
+                chunk_events=self.chunk_events,
+            )
+            if fold is not None:
+                return fold
+        fold = CallFold(transition_ns, self.weights, sleep_counts)
+        for cols in self.db.call_columns_chunks(self.chunk_events, order="thread"):
+            fold.fold(cols)
+        return fold.seal()
+
+    def _paging_pass(self) -> tuple[dict[str, int], int, int, int]:
+        """Attribute paging events to enclosing ecalls via a merge-join.
+
+        Both streams are time-ordered, so "the last ecall started at or
+        before the fault's timestamp" is a single forward pointer — the
+        exact interval ``searchsorted(..., side="right") - 1`` selects in
+        the in-memory detector, including its last-of-tied-starts choice.
+        """
+        page_in = total = 0
+        distinct: set[tuple[int, int]] = set()
+        affected: dict[str, int] = {}
+
+        def intervals():
+            for rows in self.db.ecall_intervals_chunks(self.chunk_events):
+                yield from rows
+
+        ecalls = intervals()
+        upcoming = next(ecalls, None)
+        current = None  # last interval started at or before the fault
+        for rows in self.db.paging_rows_chunks(self.chunk_events):
+            for row in rows:
+                ts = int(row[1])
+                total += 1
+                if row[4] == "page_in":
+                    page_in += 1
+                distinct.add((int(row[2]), int(row[3])))
+                while upcoming is not None and upcoming[0] <= ts:
+                    current = upcoming
+                    upcoming = next(ecalls, None)
+                if current is not None and current[1] >= ts:
+                    name = str(current[2])
+                    affected[name] = affected.get(name, 0) + 1
+        return affected, page_in, total - page_in, len(distinct)

@@ -6,7 +6,12 @@ Subcommands:
   write the trace database (the moral equivalent of
   ``LD_PRELOAD=liblogger.so ./app``);
 * ``analyze`` — produce the full report for a trace (optionally with the
-  enclave's EDL file for allow-list narrowing);
+  enclave's EDL file for allow-list narrowing); ``--jobs N`` /
+  ``--chunk-events M`` / ``--streaming`` select the streaming analyser,
+  which produces byte-identical reports in windowed memory, sharded by
+  thread across worker processes when ``N > 1``;
+* ``top``     — run a workload with a live sampling display: transition
+  rates, AEX counts and paging pressure every interval of virtual time;
 * ``stats``   — detailed statistics/histogram/scatter for one call;
 * ``dot``     — emit the Figure 5-style call graph in Graphviz DOT;
 * ``salvage`` — recover a trace whose recording run crashed (close dangling
@@ -56,12 +61,68 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     if args.edl:
         with open(args.edl) as f:
             definition = parse_edl(f.read())
+    streaming = args.jobs != 1 or args.chunk_events is not None or args.streaming
     with TraceDatabase(args.trace) as db:
-        report = Analyzer(db, definition=definition).run()
+        counts = db.table_counts()
+        total = sum(counts.values())
+        mode = (
+            f"streaming (jobs={args.jobs}, chunk-events="
+            f"{args.chunk_events or 'default'})"
+            if streaming
+            else "in-memory"
+        )
+        print(
+            f"analyzing {args.trace}: {counts['calls']} calls, "
+            f"{counts['paging']} paging, {counts['sync']} sync, "
+            f"{counts['faults']} fault rows ({total} events total), {mode}",
+            file=sys.stderr,
+        )
+        if streaming:
+            from repro.perf.analysis.streaming import StreamingAnalyzer
+
+            report = StreamingAnalyzer(
+                db,
+                definition=definition,
+                chunk_events=args.chunk_events,
+                jobs=args.jobs,
+            ).run()
+        else:
+            report = Analyzer(db, definition=definition).run()
         print(report.render_text(max_stats_rows=args.rows))
         if args.availability:
             print()
             print(report.render_availability())
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.perf.top import LiveTop, TopSample
+
+    registry = _workload_registry()
+    recorder = registry.get(args.workload)
+    if recorder is None:
+        print(
+            f"unknown workload {args.workload!r}; available: "
+            + ", ".join(sorted(registry)),
+            file=sys.stderr,
+        )
+        return 2
+    tops: list[LiveTop] = []
+
+    def attach(logger) -> None:
+        def on_sample(sample: TopSample) -> None:
+            print(sample.render())
+
+        top = LiveTop(
+            logger, interval_ns=args.interval_us * 1_000, on_sample=on_sample
+        )
+        tops.append(top.attach())
+
+    recorder(args.output, args.seed, attach=attach)
+    if tops:
+        print(tops[0].render_summary())
+    if args.output != ":memory:":
+        print(f"trace written to {args.output}")
     return 0
 
 
@@ -190,7 +251,46 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="append the serving-path availability section (serve:*/watchdog:* rows)",
     )
+    p_analyze.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="shard the analysis by thread across N worker processes "
+        "(any value != 1 selects the streaming analyser)",
+    )
+    p_analyze.add_argument(
+        "--chunk-events",
+        type=int,
+        default=None,
+        metavar="M",
+        help="stream the trace in batches of M call rows "
+        "(selects the streaming analyser; default batch size 65536)",
+    )
+    p_analyze.add_argument(
+        "--streaming",
+        action="store_true",
+        help="use the streaming analyser even with jobs=1 and default chunks",
+    )
     p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_top = sub.add_parser(
+        "top", help="run a workload with a live sampling display (virtual time)"
+    )
+    p_top.add_argument("workload", help="workload name (see `sgxperf workloads`)")
+    p_top.add_argument(
+        "-o",
+        "--output",
+        default=":memory:",
+        help="also keep the trace database at this path (default: discard)",
+    )
+    p_top.add_argument("--seed", type=int, default=0, help="simulation seed")
+    p_top.add_argument(
+        "--interval-us",
+        type=int,
+        default=1_000,
+        help="sampling interval in microseconds of virtual time (default 1000)",
+    )
+    p_top.set_defaults(func=_cmd_top)
 
     p_stats = sub.add_parser("stats", help="statistics for one call")
     p_stats.add_argument("trace")

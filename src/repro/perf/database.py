@@ -22,6 +22,16 @@ The reader side exposes typed records for compatibility, a **columnar API**
 (:meth:`call_columns`, :meth:`durations_ns`, :meth:`starts_ns`,
 :meth:`call_summary`) returning NumPy arrays straight from SQL for the
 analysers, and raw SQL for everyone else.
+
+For traces too large to materialise, the **streaming API** walks the same
+tables through SQLite cursors in bounded-size batches:
+:meth:`call_columns_chunks` yields :class:`CallColumns` windows (ordered by
+``(thread, start, id)`` so per-thread parent state stays windowed, or
+globally by ``(start, id)``), with row-count fast paths
+(:meth:`calls_count`, :meth:`event_count`) that never load a column.
+``readonly=True`` opens an existing trace without taking any write lock —
+the mode the parallel analyser's shard workers use so N readers never
+contend on index creation.
 """
 
 from __future__ import annotations
@@ -29,7 +39,7 @@ from __future__ import annotations
 import os
 import sqlite3
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Iterable, Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -137,6 +147,10 @@ _INSERT_FAULTS = "INSERT INTO faults VALUES (?,?,?,?,?,?,?)"
 
 _FLUSH_THRESHOLD = 4096
 
+# Default streaming batch: large enough to amortise per-chunk Python and
+# NumPy overheads, small enough that a window of one chunk stays in cache.
+DEFAULT_CHUNK_EVENTS = 65_536
+
 
 @dataclass(frozen=True)
 class CallSummary:
@@ -163,7 +177,10 @@ class TraceDatabase:
 
     ``tuned=False`` skips the recording pragmas; ``defer_indexes=False``
     creates the read indexes eagerly (the seed writer's behaviour, kept for
-    apples-to-apples comparisons).
+    apples-to-apples comparisons).  ``readonly=True`` opens an existing
+    file-backed trace through SQLite's read-only URI mode: no schema or
+    index creation, no pragma writes — many processes can read the same
+    trace concurrently without ever contending on a write lock.
     """
 
     def __init__(
@@ -172,21 +189,36 @@ class TraceDatabase:
         flush_threshold: int = _FLUSH_THRESHOLD,
         tuned: bool = True,
         defer_indexes: bool = True,
+        readonly: bool = False,
     ) -> None:
         self.path = path
+        self.readonly = readonly
         self._flush_threshold = max(1, int(flush_threshold))
-        # Simulated threads are backed by OS threads, but the cooperative
-        # scheduler guarantees only one runs at a time — cross-thread use
-        # of the connection is serialised by construction.  Autocommit
-        # isolation lets flush() wrap each batch in one explicit
-        # transaction.
-        self._conn = sqlite3.connect(path, check_same_thread=False, isolation_level=None)
-        if tuned:
-            self._apply_recording_pragmas()
-        self._conn.executescript(_SCHEMA_TABLES)
-        self._indexed = False
-        if not defer_indexes:
-            self._create_indexes()
+        if readonly:
+            if path == ":memory:":
+                raise TraceError("readonly=True needs a file-backed trace")
+            self._conn = sqlite3.connect(
+                f"file:{path}?mode=ro", uri=True, check_same_thread=False,
+                isolation_level=None,
+            )
+            # Whatever indexes exist are what reads get; creating them
+            # would need the write lock this mode exists to avoid.
+            self._indexed = True
+        else:
+            # Simulated threads are backed by OS threads, but the cooperative
+            # scheduler guarantees only one runs at a time — cross-thread use
+            # of the connection is serialised by construction.  Autocommit
+            # isolation lets flush() wrap each batch in one explicit
+            # transaction.
+            self._conn = sqlite3.connect(
+                path, check_same_thread=False, isolation_level=None
+            )
+            if tuned:
+                self._apply_recording_pragmas()
+            self._conn.executescript(_SCHEMA_TABLES)
+            self._indexed = False
+            if not defer_indexes:
+                self._create_indexes()
         self._calls: list[tuple] = []
         self._aex: list[tuple] = []
         self._paging: list[tuple] = []
@@ -450,6 +482,153 @@ class TraceDatabase:
         ).fetchall()
         return CallColumns.from_rows(rows)
 
+    # -- reader side: streaming (windowed-memory) API ------------------------
+
+    def calls_count(
+        self,
+        kind: Optional[str] = None,
+        name: Optional[str] = None,
+        enclave_id: Optional[int] = None,
+    ) -> int:
+        """Row count of ``calls`` via ``SELECT count(*)`` — no columns loaded."""
+        self._check_owner()
+        self.flush()
+        where, params = self._call_filter(kind, name, enclave_id)
+        return int(
+            self._conn.execute("SELECT count(*) FROM calls" + where, params).fetchone()[0]
+        )
+
+    def event_count(self) -> int:
+        """Total rows across every event table, via ``count(*)`` fast paths."""
+        self._check_owner()
+        self.flush()
+        total = 0
+        for table in ("calls", "aex", "paging", "sync", "faults"):
+            total += int(
+                self._conn.execute(f"SELECT count(*) FROM {table}").fetchone()[0]
+            )
+        return total
+
+    def table_counts(self) -> dict[str, int]:
+        """Per-table row counts (the CLI's pre-analysis sizing line)."""
+        self._check_owner()
+        self.flush()
+        return {
+            table: int(
+                self._conn.execute(f"SELECT count(*) FROM {table}").fetchone()[0]
+            )
+            for table in ("calls", "aex", "paging", "sync", "faults")
+        }
+
+    def thread_row_counts(self) -> list[tuple[int, int]]:
+        """``(thread_id, call rows)`` pairs — the parallel analyser's shard key."""
+        self._ensure_read()
+        rows = self._conn.execute(
+            "SELECT thread_id, count(*) FROM calls GROUP BY thread_id ORDER BY thread_id"
+        ).fetchall()
+        return [(int(t), int(c)) for t, c in rows]
+
+    def call_columns_chunks(
+        self,
+        chunk_events: int = DEFAULT_CHUNK_EVENTS,
+        thread_ids: Optional[Sequence[int]] = None,
+        order: str = "thread",
+    ) -> Iterator[CallColumns]:
+        """Stream the ``calls`` table as bounded-size column batches.
+
+        ``order="thread"`` yields rows ordered by ``(thread_id, start_ns,
+        id)`` — each thread is one contiguous run, which is what the
+        incremental analysers need to keep their per-thread parent windows
+        small (and what ``idx_calls_thread`` serves without a sort).
+        ``order="time"`` yields the reader convention ``(start_ns, id)``.
+        ``thread_ids`` restricts the stream to one shard's threads.
+        """
+        self._ensure_read()
+        if order == "thread":
+            order_by = " ORDER BY thread_id, start_ns, id"
+        elif order == "time":
+            order_by = " ORDER BY start_ns, id"
+        else:
+            raise ValueError(f"unknown chunk order {order!r}")
+        where, params = "", []
+        if thread_ids is not None:
+            marks = ",".join("?" for _ in thread_ids)
+            where = f" WHERE thread_id IN ({marks})"
+            params = [int(t) for t in thread_ids]
+        cursor = self._conn.execute("SELECT * FROM calls" + where + order_by, params)
+        chunk = max(1, int(chunk_events))
+        while True:
+            rows = cursor.fetchmany(chunk)
+            if not rows:
+                break
+            yield CallColumns.from_rows(rows)
+
+    def call_durations_chunks(
+        self, chunk_events: int = DEFAULT_CHUNK_EVENTS
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Stream ``(event ids, durations)`` pairs, id-ordered, two ints per row."""
+        self._ensure_read()
+        cursor = self._conn.execute(
+            "SELECT id, end_ns - start_ns FROM calls ORDER BY id"
+        )
+        chunk = max(1, int(chunk_events))
+        while True:
+            rows = cursor.fetchmany(chunk)
+            if not rows:
+                break
+            n = len(rows)
+            ids = np.fromiter((r[0] for r in rows), dtype=np.int64, count=n)
+            durations = np.fromiter((r[1] for r in rows), dtype=np.int64, count=n)
+            yield ids, durations
+
+    def ecall_intervals_chunks(
+        self, chunk_events: int = DEFAULT_CHUNK_EVENTS
+    ) -> Iterator[list[tuple]]:
+        """Stream ``(start_ns, end_ns, name)`` of every ecall, time-ordered."""
+        yield from self._rows_chunks(
+            "SELECT start_ns, end_ns, name FROM calls WHERE kind = ?"
+            " ORDER BY start_ns, id",
+            chunk_events,
+            (ECALL,),
+        )
+
+    def sync_rows_chunks(
+        self, chunk_events: int = DEFAULT_CHUNK_EVENTS
+    ) -> Iterator[list[tuple]]:
+        """Stream raw ``sync`` rows in time order."""
+        yield from self._rows_chunks(
+            "SELECT * FROM sync ORDER BY ts_ns, id", chunk_events
+        )
+
+    def paging_rows_chunks(
+        self, chunk_events: int = DEFAULT_CHUNK_EVENTS
+    ) -> Iterator[list[tuple]]:
+        """Stream raw ``paging`` rows in time order."""
+        yield from self._rows_chunks(
+            "SELECT * FROM paging ORDER BY ts_ns, id", chunk_events
+        )
+
+    def fault_events_chunks(
+        self, chunk_events: int = DEFAULT_CHUNK_EVENTS
+    ) -> Iterator[list[FaultRecord]]:
+        """Stream ``faults`` rows as typed records, time-ordered."""
+        for rows in self._rows_chunks(
+            "SELECT * FROM faults ORDER BY ts_ns, id", chunk_events
+        ):
+            yield [FaultRecord(*r) for r in rows]
+
+    def _rows_chunks(
+        self, sql: str, chunk_events: int, params: Iterable = ()
+    ) -> Iterator[list[tuple]]:
+        self._ensure_read()
+        cursor = self._conn.execute(sql, tuple(params))
+        chunk = max(1, int(chunk_events))
+        while True:
+            rows = cursor.fetchmany(chunk)
+            if not rows:
+                break
+            yield rows
+
     def durations_ns(
         self,
         kind: Optional[str] = None,
@@ -499,13 +678,13 @@ class TraceDatabase:
     def paging_events(self) -> list[PagingRecord]:
         """Load all paging events."""
         self._ensure_read()
-        rows = self._conn.execute("SELECT * FROM paging ORDER BY ts_ns").fetchall()
+        rows = self._conn.execute("SELECT * FROM paging ORDER BY ts_ns, id").fetchall()
         return [PagingRecord(*r) for r in rows]
 
     def sync_events(self) -> list[SyncEvent]:
         """Load all sync sleep/wake events."""
         self._ensure_read()
-        rows = self._conn.execute("SELECT * FROM sync ORDER BY ts_ns").fetchall()
+        rows = self._conn.execute("SELECT * FROM sync ORDER BY ts_ns, id").fetchall()
         return [
             SyncEvent(
                 event_id=r[0],

@@ -151,6 +151,13 @@ class EventLogger:
         self._last_table: Any = self  # sentinel, likewise
         self._last_stub_table: Optional[_LoggerOcallTable] = None
         self._ecall_names: dict[tuple[int, int], str] = {}
+        # Live counters for `sgxperf top`: one integer add per event, read
+        # by the sampling thread without touching buffers or the database.
+        self._n_ecalls = 0
+        self._n_ocalls = 0
+        self._n_aex = 0
+        self._n_page_in = 0
+        self._n_page_out = 0
         self._real_sgx_ecall: Optional[Callable] = None
         self._wrapped_handlers = 0
         self._installed = False
@@ -427,6 +434,7 @@ class EventLogger:
                 )
             )
             self._pending += 1
+            self._n_ecalls += 1
             if self._record_statuses and status is not SgxStatus.SGX_SUCCESS:
                 fault_id = self._event_seq = self._event_seq + 1
                 kind = (
@@ -516,6 +524,7 @@ class EventLogger:
                     )
                 )
                 self._pending += 1
+                self._n_ocalls += 1
                 if self._pending >= DRAIN_THRESHOLD:
                     self.flush()
                 compute(OCALL_LOG_POST_NS)
@@ -572,6 +581,7 @@ class EventLogger:
                     break
         if open_ecall is not None:
             open_ecall[_F_AEX] += 1
+        self._n_aex += 1
         if self.aex_mode is AexMode.TRACE:
             event_id = self._event_seq = self._event_seq + 1
             self._aex_rows.append(
@@ -591,6 +601,10 @@ class EventLogger:
 
     def _kprobe_paging(self, ts_ns: int, enclave_id: int, vaddr: int, direction: str) -> None:
         event_id = self._event_seq = self._event_seq + 1
+        if direction == "page_in":
+            self._n_page_in += 1
+        else:
+            self._n_page_out += 1
         self._paging_rows.append((event_id, ts_ns, enclave_id, vaddr, direction))
         self._pending += 1
         if self._pending >= DRAIN_THRESHOLD:
@@ -642,3 +656,13 @@ class EventLogger:
     def events_buffered(self) -> int:
         """Completed rows waiting in per-thread buffers for the next drain."""
         return self._pending
+
+    def live_counts(self) -> dict[str, int]:
+        """Cheap counter snapshot for live sampling (``sgxperf top``)."""
+        return {
+            "ecalls": self._n_ecalls,
+            "ocalls": self._n_ocalls,
+            "aex": self._n_aex,
+            "page_in": self._n_page_in,
+            "page_out": self._n_page_out,
+        }

@@ -1,0 +1,161 @@
+"""Live analysis: ``sgxperf top`` (a sampling hook on a running simulation).
+
+The offline analyser answers "what happened"; ``top`` answers "what is
+happening".  :class:`LiveTop` attaches to a running :class:`EventLogger`
+as a daemon *simulated* thread (the same device the hang watchdog uses):
+it wakes every ``interval_ns`` of virtual time, snapshots the logger's
+live counters — one integer read each, no buffers, no database — and
+renders transition rates, AEX counts, paging pressure and, when a
+serving path is attached, the circuit breaker's state.
+
+Because sampling runs on the simulator's virtual clock, output is fully
+deterministic for a given seed: the same run produces the same samples,
+which is what the tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.perf.logger import EventLogger
+
+DEFAULT_INTERVAL_NS = 1_000_000  # 1 ms of virtual time
+
+
+@dataclass(frozen=True)
+class TopSample:
+    """One sampling tick: cumulative counts plus rates over the interval."""
+
+    now_ns: int
+    ecalls: int
+    ocalls: int
+    aex: int
+    page_in: int
+    page_out: int
+    ecall_rate: float  # events per second of virtual time, over the tick
+    ocall_rate: float
+    aex_rate: float
+    paging_rate: float
+    breaker_state: Optional[str] = None
+    breaker_failures: int = 0
+    breaker_opened: int = 0
+
+    def render(self) -> str:
+        line = (
+            f"top {self.now_ns / 1e6:10.3f} ms | "
+            f"ecalls {self.ecalls:>7} ({self.ecall_rate:>9.0f}/s) | "
+            f"ocalls {self.ocalls:>7} ({self.ocall_rate:>9.0f}/s) | "
+            f"aex {self.aex:>5} | "
+            f"paging {self.page_in + self.page_out:>5} "
+            f"(in {self.page_in}, out {self.page_out})"
+        )
+        if self.breaker_state is not None:
+            line += (
+                f" | breaker {self.breaker_state}"
+                f" (fails {self.breaker_failures}, opened {self.breaker_opened})"
+            )
+        return line
+
+
+class LiveTop:
+    """Samples a running logger every ``interval_ns`` of virtual time."""
+
+    def __init__(
+        self,
+        logger: EventLogger,
+        interval_ns: int = DEFAULT_INTERVAL_NS,
+        breaker=None,
+        on_sample: Optional[Callable[[TopSample], None]] = None,
+    ) -> None:
+        if interval_ns <= 0:
+            raise ValueError(f"interval_ns must be positive, got {interval_ns}")
+        self.logger = logger
+        self.sim = logger.sim
+        self.interval_ns = int(interval_ns)
+        self.breaker = breaker
+        self.on_sample = on_sample
+        self.samples: list[TopSample] = []
+        self._last = dict.fromkeys(("ecalls", "ocalls", "aex", "page_in", "page_out"), 0)
+        self._last_ns = self.sim.clock.now_ns
+        self._armed = False
+        self._stopped = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def attach(self) -> "LiveTop":
+        """Spawn the sampling daemon thread (idempotent).
+
+        A daemon thread never keeps the simulation alive: when the
+        workload's last real thread finishes, sampling ends with it.
+        """
+        if not self._armed:
+            self._armed = True
+            self.sim.spawn(self._loop, name="sgxperf-top", daemon=True)
+        return self
+
+    def stop(self) -> None:
+        """Ask the sampler to exit at its next tick."""
+        self._stopped = True
+
+    def _loop(self) -> None:
+        while not self._stopped:
+            self.sim.compute(self.interval_ns)
+            self.sample()
+
+    # -- sampling ------------------------------------------------------------
+
+    def sample(self) -> TopSample:
+        """Take one sample now (the daemon loop calls this every tick)."""
+        now = self.sim.clock.now_ns
+        counts = self.logger.live_counts()
+        dt_ns = now - self._last_ns
+
+        def rate(key: str) -> float:
+            if dt_ns <= 0:
+                return 0.0
+            return (counts[key] - self._last[key]) * 1e9 / dt_ns
+
+        sample = TopSample(
+            now_ns=now,
+            ecalls=counts["ecalls"],
+            ocalls=counts["ocalls"],
+            aex=counts["aex"],
+            page_in=counts["page_in"],
+            page_out=counts["page_out"],
+            ecall_rate=rate("ecalls"),
+            ocall_rate=rate("ocalls"),
+            aex_rate=rate("aex"),
+            paging_rate=rate("page_in") + rate("page_out"),
+            breaker_state=self.breaker.state if self.breaker is not None else None,
+            breaker_failures=(
+                self.breaker.consecutive_failures if self.breaker is not None else 0
+            ),
+            breaker_opened=self.breaker.opened_count if self.breaker is not None else 0,
+        )
+        self._last = counts
+        self._last_ns = now
+        self.samples.append(sample)
+        if self.on_sample is not None:
+            self.on_sample(sample)
+        return sample
+
+    def render_summary(self) -> str:
+        """Closing summary over the whole sampled run."""
+        if not self.samples:
+            return "top: no samples taken (run shorter than one interval)"
+        last = self.samples[-1]
+        peak_ecall = max(s.ecall_rate for s in self.samples)
+        peak_ocall = max(s.ocall_rate for s in self.samples)
+        lines = [
+            f"top: {len(self.samples)} samples over {last.now_ns / 1e6:.3f} ms "
+            f"(virtual), interval {self.interval_ns / 1e6:g} ms",
+            f"  ecalls {last.ecalls} (peak {peak_ecall:.0f}/s)   "
+            f"ocalls {last.ocalls} (peak {peak_ocall:.0f}/s)",
+            f"  aex {last.aex}   paging in {last.page_in} / out {last.page_out}",
+        ]
+        if last.breaker_state is not None:
+            lines.append(
+                f"  breaker {last.breaker_state} (opened {last.breaker_opened}x)"
+            )
+        return "\n".join(lines)

@@ -5,29 +5,55 @@ Each recorder is the moral equivalent of
 the logger into its process, runs a representative load and writes the
 trace database to the given path.  The ``sgxperf record`` CLI dispatches
 here.
+
+Every recorder takes an optional ``attach`` hook called with the
+installed :class:`EventLogger` before the load runs — the seam live
+observers use (``sgxperf top`` attaches its sampling thread there).
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional
+
+AttachHook = Optional[Callable[["EventLogger"], None]]
 
 from repro.perf.logger import AexMode, EventLogger
 from repro.sgx.device import SgxDevice
 from repro.sim.process import SimProcess
 
 
-def record_talos(db_path: str, seed: int = 0, requests: int = 300) -> None:
+def _run_observed(process: SimProcess, load: Callable[[], None]) -> None:
+    """Run an otherwise-inline ``load`` under the scheduler.
+
+    The signing/SQL loads drive the enclave from the inline
+    (schedulerless) context, where ``sim.compute`` only advances the
+    clock — a spawned daemon observer like ``sgxperf top``'s sampler
+    would never get a turn.  With an observer attached the load runs on
+    a spawned thread instead, so the scheduler interleaves the sampler
+    at its ticks.
+    """
+    process.sim.spawn(load, name="workload")
+    process.sim.run()
+
+
+def record_talos(
+    db_path: str, seed: int = 0, requests: int = 300, attach: AttachHook = None
+) -> None:
     """TaLoS + nginx serving HTTPS GETs (paper §5.2.1)."""
     from repro.workloads.talos import TalosApp, run_talos_nginx
 
     process = SimProcess(seed=seed)
     device = SgxDevice(process.sim)
     app = TalosApp(process, device)
-    with EventLogger(process, app.urts, database=db_path, aex_mode=AexMode.COUNT):
+    with EventLogger(process, app.urts, database=db_path, aex_mode=AexMode.COUNT) as logger:
+        if attach is not None:
+            attach(logger)
         run_talos_nginx(requests=requests, process=process, device=device, app=app)
 
 
-def record_sqlite(db_path: str, seed: int = 0, requests: int = 400) -> None:
+def record_sqlite(
+    db_path: str, seed: int = 0, requests: int = 400, attach: AttachHook = None
+) -> None:
     """Enclavised minisql replaying git commits (paper §5.2.2)."""
     from repro.workloads.minisql import SQLITE_SYSCALL_COSTS, SqlBuild
     from repro.workloads.minisql.enclavised import EnclavedSqlApp
@@ -36,35 +62,55 @@ def record_sqlite(db_path: str, seed: int = 0, requests: int = 400) -> None:
     process = SimProcess(seed=seed, syscall_costs=SQLITE_SYSCALL_COSTS)
     device = SgxDevice(process.sim)
     app = EnclavedSqlApp(process, device, SqlBuild.ENCLAVE)
-    with EventLogger(process, app.urts, database=db_path, aex_mode=AexMode.COUNT):
-        app.open("trace.db")
-        app.execute(CREATE_SQL)
-        for index, (sha, author, message) in enumerate(commit_stream(requests, seed)):
-            app.execute(_insert_sql(sha, author, message, index))
-        app.close()
+    with EventLogger(process, app.urts, database=db_path, aex_mode=AexMode.COUNT) as logger:
+        def load() -> None:
+            app.open("trace.db")
+            app.execute(CREATE_SQL)
+            for index, (sha, author, message) in enumerate(commit_stream(requests, seed)):
+                app.execute(_insert_sql(sha, author, message, index))
+            app.close()
+
+        if attach is None:
+            load()
+        else:
+            attach(logger)
+            _run_observed(process, load)
 
 
-def record_glamdring(db_path: str, seed: int = 0, signs: int = 4) -> None:
+def record_glamdring(
+    db_path: str, seed: int = 0, signs: int = 4, attach: AttachHook = None
+) -> None:
     """Glamdring-partitioned signing (paper §5.2.3)."""
     from repro.workloads.glamdring import GlamdringSigner, SignerBuild, make_certificate
 
     process = SimProcess(seed=seed)
     device = SgxDevice(process.sim)
     signer = GlamdringSigner(process, device, SignerBuild.PARTITIONED)
-    with EventLogger(process, signer.urts, database=db_path, aex_mode=AexMode.COUNT):
-        for serial in range(signs):
-            signer.sign(make_certificate(serial))
+    with EventLogger(process, signer.urts, database=db_path, aex_mode=AexMode.COUNT) as logger:
+        def load() -> None:
+            for serial in range(signs):
+                signer.sign(make_certificate(serial))
+
+        if attach is None:
+            load()
+        else:
+            attach(logger)
+            _run_observed(process, load)
     signer.close()
 
 
-def record_securekeeper(db_path: str, seed: int = 0, operations: int = 40) -> None:
+def record_securekeeper(
+    db_path: str, seed: int = 0, operations: int = 40, attach: AttachHook = None
+) -> None:
     """SecureKeeper under full load (paper §5.2.4)."""
     from repro.workloads.securekeeper import SecureKeeperProxy, run_securekeeper_load
 
     process = SimProcess(seed=seed)
     device = SgxDevice(process.sim)
     proxy = SecureKeeperProxy(process, device, tcs_count=16)
-    with EventLogger(process, proxy.urts, database=db_path, aex_mode=AexMode.COUNT):
+    with EventLogger(process, proxy.urts, database=db_path, aex_mode=AexMode.COUNT) as logger:
+        if attach is not None:
+            attach(logger)
         run_securekeeper_load(
             clients=8,
             operations_per_client=operations,

@@ -1,0 +1,338 @@
+"""Streaming analyser equivalence: the in-memory path is the reference twin.
+
+The contract under test: for ANY ``--chunk-events`` / ``--jobs`` setting,
+the streaming analyser's report text, findings and call graph are
+byte-identical to the in-memory analyser's — on seeded traces from all
+four bundled workloads, on fault/serving traces, and on empty traces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.analysis import callgraph as callgraph_mod
+from repro.perf.analysis.parallel import shard_threads
+from repro.perf.analysis.report import Analyzer
+from repro.perf.analysis.streaming import StreamingAnalyzer
+from repro.perf.cli import main as cli_main
+from repro.perf.database import TraceDatabase, TraceError
+from repro.sdk.edl import parse_edl
+
+WORKLOADS = ["talos", "sqlite", "glamdring", "securekeeper"]
+CHUNKS = [1, 7, 1000, None]  # None = unbounded (one chunk holds the trace)
+
+
+def _record(name: str, path: str, seed: int = 5) -> None:
+    from repro.workloads import recorders
+
+    sized = {
+        # Small but representative loads: every detector family fires.
+        "talos": lambda: recorders.record_talos(path, seed, requests=60),
+        "sqlite": lambda: recorders.record_sqlite(path, seed, requests=80),
+        "glamdring": lambda: recorders.record_glamdring(path, seed, signs=2),
+        "securekeeper": lambda: recorders.record_securekeeper(path, seed, operations=10),
+    }
+    sized[name]()
+
+
+@pytest.fixture(scope="module")
+def traces(tmp_path_factory) -> dict:
+    root = tmp_path_factory.mktemp("streaming-traces")
+    paths = {}
+    for name in WORKLOADS:
+        paths[name] = str(root / f"{name}.db")
+        _record(name, paths[name])
+    return paths
+
+
+@pytest.fixture(scope="module")
+def reference(traces) -> dict:
+    """name → (report text, findings, DOT) from the in-memory analyser."""
+    out = {}
+    for name, path in traces.items():
+        with TraceDatabase(path) as db:
+            analyzer = Analyzer(db)
+            report = analyzer.run()
+            out[name] = (
+                report.render_text() + "\n" + report.render_availability(),
+                report.findings,
+                callgraph_mod.to_dot(analyzer.call_graph()),
+            )
+    return out
+
+
+def _streaming_result(path: str, chunk, jobs: int = 1):
+    with TraceDatabase(path) as db:
+        analyzer = StreamingAnalyzer(db, chunk_events=chunk, jobs=jobs)
+        report = analyzer.run()
+        return (
+            report.render_text() + "\n" + report.render_availability(),
+            report.findings,
+            callgraph_mod.to_dot(analyzer.call_graph()),
+        )
+
+
+@pytest.mark.parametrize("chunk", CHUNKS, ids=lambda c: f"chunk={c or 'inf'}")
+@pytest.mark.parametrize("workload", WORKLOADS)
+def test_streaming_byte_identical(traces, reference, workload, chunk):
+    text, findings, dot = _streaming_result(traces[workload], chunk)
+    ref_text, ref_findings, ref_dot = reference[workload]
+    assert text == ref_text
+    assert findings == ref_findings
+    assert dot == ref_dot
+
+
+# One (workload, chunk) pair per chunk size keeps the spawn-pool cost
+# bounded while still crossing jobs=4 with every chunk size.
+@pytest.mark.parametrize(
+    "workload, chunk",
+    [("talos", 7), ("sqlite", 1000), ("glamdring", None), ("securekeeper", 1)],
+    ids=lambda v: str(v),
+)
+def test_parallel_byte_identical(traces, reference, workload, chunk):
+    text, findings, dot = _streaming_result(traces[workload], chunk, jobs=4)
+    ref_text, ref_findings, ref_dot = reference[workload]
+    assert text == ref_text
+    assert findings == ref_findings
+    assert dot == ref_dot
+
+
+EDL_TEXT = """
+enclave {
+    trusted {
+        public void ecall_handshake([user_check] void *ctx);
+        void ecall_request(void);
+    };
+    untrusted {
+        void ocall_read(void) allow(ecall_request, ecall_handshake);
+    };
+};
+"""
+
+
+def test_streaming_with_edl_identical(traces):
+    definition = parse_edl(EDL_TEXT)
+    with TraceDatabase(traces["talos"]) as db:
+        ref = Analyzer(db, definition=definition).run()
+        got = StreamingAnalyzer(db, definition=definition, chunk_events=13).run()
+    assert got.render_text() == ref.render_text()
+    assert got.findings == ref.findings
+
+
+def test_fault_and_serving_sections_identical(tmp_path):
+    """Fault counts, availability and notes come from the same accumulator."""
+    path = str(tmp_path / "faulty.db")
+    _record("glamdring", path)
+    with TraceDatabase(path) as db:
+        rows = []
+        ts = 1_000
+        for i in range(6):
+            rows.append((10_000 + i, ts + i, 1, 1, "serve:request", "kvstore", f"ok +{90 + i} ns"))
+        rows.append((10_006, ts + 6, 1, 1, "serve:retry", "kvstore", ""))
+        rows.append((10_007, ts + 7, 1, 1, "serve:shed", "kvstore", ""))
+        rows.append((10_008, ts + 8, 1, 2, "serve:failed", "kvstore", ""))
+        rows.append((10_009, ts + 9, 1, 2, "watchdog:deadlock", "", "cycle"))
+        rows.append((10_010, ts + 10, 1, 2, "inject:loss", "", ""))
+        rows.append((10_011, ts + 11, 1, 2, "recover:recreate", "", ""))
+        rows.append((10_012, ts + 12, 1, 2, "recover:retry", "ecall_sign", ""))
+        db.add_fault_rows(rows)
+        db.set_meta("trace_state", "salvaged")
+        db.flush()
+    for chunk in (3, None):
+        with TraceDatabase(path) as db:
+            ref = Analyzer(db).run()
+            got = StreamingAnalyzer(db, chunk_events=chunk).run()
+        assert got.render_text() == ref.render_text()
+        assert got.render_availability() == ref.render_availability()
+        assert got.findings == ref.findings
+        assert got.notes == ref.notes
+
+
+def test_empty_trace_identical(tmp_path):
+    path = str(tmp_path / "empty.db")
+    with TraceDatabase(path) as db:
+        db.flush()
+    with TraceDatabase(path) as db:
+        ref = Analyzer(db).run()
+        got = StreamingAnalyzer(db).run()
+        par = StreamingAnalyzer(db, jobs=4).run()  # no threads → in-process
+    assert got.render_text() == ref.render_text()
+    assert par.render_text() == ref.render_text()
+
+
+# -- satellite: count fast paths ------------------------------------------
+
+
+def test_count_fast_paths(traces):
+    with TraceDatabase(traces["glamdring"]) as db:
+        cols = db.call_columns()
+        assert db.calls_count() == len(cols)
+        assert db.calls_count(kind="ecall") == sum(
+            1 for k in cols.kind.tolist() if k == "ecall"
+        )
+        counts = db.table_counts()
+        assert counts["calls"] == len(cols)
+        assert db.event_count() == sum(counts.values())
+        threads = dict(db.thread_row_counts())
+        assert sum(threads.values()) == len(cols)
+
+
+# -- read-only mode --------------------------------------------------------
+
+
+def test_readonly_mode(traces):
+    with pytest.raises(TraceError):
+        TraceDatabase(":memory:", readonly=True)
+    db = TraceDatabase(traces["glamdring"], readonly=True)
+    try:
+        assert db.calls_count() > 0
+        assert len(db.call_columns()) == db.calls_count()
+    finally:
+        db.close()
+
+
+# -- shard assignment -------------------------------------------------------
+
+
+def test_shard_threads_deterministic_and_balanced():
+    counts = [(1, 100), (2, 90), (3, 10), (4, 10), (5, 5)]
+    shards = shard_threads(counts, 2)
+    assert shards == shard_threads(counts, 2)  # deterministic
+    assert sorted(t for s in shards for t in s) == [1, 2, 3, 4, 5]
+    loads = [sum(dict(counts)[t] for t in s) for s in shards]
+    # Greedy LPT, heaviest-first onto the lighter shard:
+    # 100 | 90, 100|100, 110|100, 110|105.
+    assert sorted(loads) == [105, 110]
+    # More shards than threads: empties dropped, one thread each.
+    assert shard_threads([(7, 3)], 4) == [[7]]
+    with pytest.raises(ValueError):
+        shard_threads(counts, 0)
+
+
+# -- satellite: one columns fetch per Analyzer ------------------------------
+
+
+def test_analyzer_fetches_columns_once(traces, monkeypatch):
+    with TraceDatabase(traces["glamdring"]) as db:
+        analyzer = Analyzer(db)
+        fetches = []
+        original = db.call_columns
+
+        def counted(*args, **kwargs):
+            fetches.append((args, kwargs))
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(db, "call_columns", counted)
+        analyzer.run()
+        analyzer.call_graph()
+        stat = analyzer.run().statistics[0]
+        analyzer.histogram(stat.kind, stat.name)
+        analyzer.scatter(stat.kind, stat.name)
+    assert len(fetches) == 1
+
+
+# -- live top ---------------------------------------------------------------
+
+
+def _run_top(seed: int, with_breaker: bool = False):
+    from repro.perf.top import LiveTop
+    from repro.workloads import recorders
+
+    tops = []
+
+    def attach(logger):
+        breaker = None
+        if with_breaker:
+            from repro.workloads.serving import CircuitBreaker
+
+            breaker = CircuitBreaker(logger.sim)
+        top = LiveTop(logger, interval_ns=50_000, breaker=breaker)
+        tops.append(top.attach())
+
+    recorders.record_securekeeper(":memory:", seed, operations=5, attach=attach)
+    return tops[0]
+
+
+def test_live_top_deterministic():
+    first = _run_top(seed=2)
+    second = _run_top(seed=2)
+    assert len(first.samples) > 2
+    assert first.samples == second.samples
+    # Counts only grow, and rates reflect the deltas.
+    ecalls = [s.ecalls for s in first.samples]
+    assert ecalls == sorted(ecalls)
+    assert any(s.ecall_rate > 0 for s in first.samples)
+    assert "samples over" in first.render_summary()
+
+
+def test_live_top_breaker_and_render():
+    top = _run_top(seed=2, with_breaker=True)
+    sample = top.samples[-1]
+    assert sample.breaker_state == "closed"
+    assert "breaker closed" in sample.render()
+    assert "ecalls" in sample.render()
+
+
+def test_live_top_samples_inline_workloads():
+    """Loads that run inline are driven under the scheduler when observed.
+
+    Without that, ``sim.compute`` from the schedulerless context only
+    advances the clock and the sampler daemon never gets a turn.
+    """
+    from repro.perf.top import LiveTop
+    from repro.workloads import recorders
+
+    tops = []
+
+    def attach(logger):
+        tops.append(LiveTop(logger, interval_ns=50_000).attach())
+
+    recorders.record_sqlite(":memory:", seed=2, requests=30, attach=attach)
+    assert len(tops[0].samples) > 0
+    assert tops[0].samples[-1].ocalls > 0
+
+
+def test_live_top_counters_match_trace(tmp_path):
+    from repro.perf.top import LiveTop
+    from repro.workloads import recorders
+
+    path = str(tmp_path / "top.db")
+    tops = []
+
+    def attach(logger):
+        tops.append(LiveTop(logger, interval_ns=50_000).attach())
+
+    recorders.record_securekeeper(path, seed=2, operations=5, attach=attach)
+    with TraceDatabase(path) as db:
+        ecalls = db.calls_count(kind="ecall")
+        ocalls = db.calls_count(kind="ocall")
+    last = tops[0].samples[-1]
+    # The sampler's last tick may precede the final calls of the run.
+    assert 0 < last.ecalls <= ecalls
+    assert last.ocalls <= ocalls
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def test_cli_streaming_flags_match(traces, capsys):
+    path = traces["securekeeper"]
+    assert cli_main(["analyze", path]) == 0
+    in_memory = capsys.readouterr()
+    assert cli_main(["analyze", path, "--chunk-events", "11"]) == 0
+    chunked = capsys.readouterr()
+    assert cli_main(["analyze", path, "--streaming"]) == 0
+    unbounded = capsys.readouterr()
+    assert chunked.out == in_memory.out
+    assert unbounded.out == in_memory.out
+    # Pre-analysis sizing line goes to stderr, report to stdout.
+    assert "calls" in in_memory.err and "in-memory" in in_memory.err
+    assert "streaming (jobs=1" in chunked.err
+
+
+def test_cli_top(capsys):
+    assert cli_main(["top", "securekeeper", "--interval-us", "100", "--seed", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "top" in out
+    assert "ecalls" in out
+    assert "samples over" in out
