@@ -1,0 +1,31 @@
+"""Sharded multi-enclave serving cluster (routing, batching, cluster SLOs).
+
+N enclave-backed server nodes — SecureKeeper or TaLoS serving stacks —
+behind a deterministic router (consistent-hash or sticky least-loaded),
+driven open loop by tens of thousands of simulated clients with seeded
+Poisson arrivals.  Each node is an isolated simulation shard fanned over
+the :mod:`repro.sweep` process pool; per-shard latency histograms merge
+into cluster-wide p50/p99/p999 + availability SLO reports, byte-identical
+at any worker count.
+"""
+
+from repro.cluster.loadgen import Arrival, generate_arrivals
+from repro.cluster.router import ConsistentHashRing, route_requests
+from repro.cluster.runner import ClusterReport, run_cluster, run_cluster_command
+from repro.cluster.slo import LatencyHistogram, SloSummary, rollup
+from repro.cluster.spec import ClusterSpec, ClusterSpecError
+
+__all__ = [
+    "Arrival",
+    "ClusterReport",
+    "ClusterSpec",
+    "ClusterSpecError",
+    "ConsistentHashRing",
+    "LatencyHistogram",
+    "SloSummary",
+    "generate_arrivals",
+    "rollup",
+    "route_requests",
+    "run_cluster",
+    "run_cluster_command",
+]

@@ -1,0 +1,82 @@
+"""Open-loop arrival generation for the serving cluster.
+
+The cluster's load generator is **open loop**: request arrival times are
+drawn up front from a seeded Poisson process and never react to service
+times — exactly the methodology serving benchmarks need to see queueing
+delay (a closed loop with thinking clients hides it).  The paper's own
+load generators (curl loops, the SecureKeeper benchmark clients, §5.2) are
+closed-loop; scaling to tens of thousands of simulated clients is where
+the open-loop model becomes the honest one.
+
+Determinism contract: :func:`generate_arrivals` is a *pure function* of
+the :class:`~repro.cluster.spec.ClusterSpec` — it draws only from
+:class:`~repro.sim.rng.DeterministicRng` streams derived from the cluster
+seed and touches no simulation state.  Every sweep worker therefore
+reconstructs the byte-identical schedule, whatever ``--jobs`` is, which is
+what the cluster's manifest-digest CI gate rests on.
+
+Arrivals are cluster-wide: inter-arrival gaps are exponential with the
+spec's aggregate rate, and each arrival is assigned to a uniformly chosen
+client that still has operations left.  A client's operations are thereby
+issued in order (op ``k`` always precedes op ``k+1``), which the
+SecureKeeper variant's create-then-get pairs rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.spec import ClusterSpec
+from repro.sim.rng import DeterministicRng
+
+ARRIVAL_STREAM = "cluster:arrivals"
+CLIENT_STREAM = "cluster:clients"
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled request: who issues it, and when."""
+
+    arrival_ns: int
+    client_id: int
+    op_index: int
+
+
+def generate_arrivals(spec: ClusterSpec) -> list[Arrival]:
+    """The full cluster arrival schedule, sorted by arrival time.
+
+    Pure and seeded: identical for every caller with an equal spec.
+    """
+    rng = DeterministicRng(spec.seed)
+    gaps = rng.stream(ARRIVAL_STREAM)
+    picks = rng.stream(CLIENT_STREAM)
+    rate_per_ns = spec.arrival_rate_rps / 1e9
+
+    # Clients with operations remaining, as a compact swap-remove pool.
+    pool = list(range(spec.clients))
+    remaining = [spec.ops_per_client] * spec.clients
+    next_op = [0] * spec.clients
+
+    arrivals: list[Arrival] = []
+    now = 0.0
+    for _ in range(spec.total_requests):
+        now += gaps.expovariate(rate_per_ns)
+        slot = picks.randrange(len(pool))
+        client = pool[slot]
+        arrivals.append(
+            Arrival(arrival_ns=int(now), client_id=client, op_index=next_op[client])
+        )
+        next_op[client] += 1
+        remaining[client] -= 1
+        if remaining[client] == 0:
+            pool[slot] = pool[-1]
+            pool.pop()
+    return arrivals
+
+
+def interarrival_gaps_ns(arrivals: list[Arrival]) -> list[int]:
+    """Successive arrival-time gaps (for distribution sanity checks)."""
+    return [
+        later.arrival_ns - earlier.arrival_ns
+        for earlier, later in zip(arrivals, arrivals[1:])
+    ]

@@ -1,0 +1,182 @@
+"""One cluster node as an isolated, deterministic simulation shard.
+
+``run_clusternode`` is a :mod:`repro.sweep` task runner: the parent
+expands a ``node`` grid axis over the cluster spec and every worker
+process rebuilds — purely from scalar parameters — the full arrival
+schedule and routing table, selects its own node's slice, and simulates
+that node end to end: enclave-backed serving stack, gateway mux, chaos
+plan, and (opt-in) event-logger tracing.  Nothing is shared between
+shards, and every derived quantity is a pure function of the spec, so
+the merged cluster manifest is byte-identical at any ``--jobs``.
+
+Node loss composes with the existing network chaos rather than being a
+special mechanism: the killed node's shard gets its kill window appended
+to the chaos plan's partition list (its link is down — in-flight requests
+stall and retry), while the router has already failed arrivals inside the
+window over to the surviving nodes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import replace
+
+from repro.cluster.loadgen import generate_arrivals
+from repro.cluster.proxy import (
+    ClusterMux,
+    MuxStats,
+    SecureKeeperClusterBackend,
+    TalosClusterBackend,
+)
+from repro.cluster.router import OP_FILL, requests_for_node, route_requests
+from repro.cluster.slo import LatencyHistogram
+from repro.cluster.spec import ClusterSpec
+from repro.sgx.device import SgxDevice
+from repro.sim.net import Listener
+from repro.sim.process import SimProcess
+
+
+def node_chaos_plan(spec: ClusterSpec, node: int):
+    """The chaos plan one shard arms (kill window included for the victim)."""
+    from repro.faults.netcampaign import default_chaos_plan
+    from repro.faults.plan import FaultPlan
+
+    if not spec.chaos:
+        return FaultPlan.disabled()
+    plan = default_chaos_plan()
+    if node == spec.killed_node:
+        net = plan.network
+        plan = replace(
+            plan, network=replace(net, partitions=net.partitions + (spec.kill_window_ns,))
+        )
+    return plan
+
+
+def run_clusternode(params: dict, db_path: str = ":memory:") -> tuple[str, dict, dict]:
+    """Simulate one node shard; returns ``(digest, metrics, faults)``.
+
+    ``params`` is the flattened :class:`ClusterSpec` plus the ``node``
+    grid axis and the seed.  With a file-backed ``db_path`` the shard is
+    traced by the event logger and the digest is the trace digest; the
+    untraced default digests the canonical metrics instead (tracing tens
+    of thousands of requests is opt-in, not the price of every sweep).
+    """
+    from repro.faults import FaultInjector
+    from repro.faults.campaign import trace_digest
+    from repro.perf.logger import AexMode, EventLogger
+    from repro.workloads.serving import CircuitBreaker, RetryPolicy, ServingStats
+
+    spec = ClusterSpec.from_params(params)
+    node = int(params["node"])
+    if not 0 <= node < spec.nodes:
+        raise ValueError(f"node {node} out of range for {spec.nodes} node(s)")
+
+    # Pure reconstruction of the cluster-wide schedule, then this shard's slice.
+    arrivals = generate_arrivals(spec)
+    routed, _info = route_requests(spec, arrivals)
+    mine = requests_for_node(routed, node)
+
+    process = SimProcess(seed=spec.node_seed(node))
+    device = SgxDevice(process.sim)
+    sim = process.sim
+    plan = node_chaos_plan(spec, node)
+    listener = Listener(sim, f"cluster:node{node}")
+
+    logger = None
+    serving = ServingStats(sim, f"{spec.variant}:node{node:02d}", logger=None)
+    retry = RetryPolicy()
+    mux_stats = MuxStats()
+
+    if spec.variant == "securekeeper":
+        from repro.workloads.securekeeper.proxy import (
+            SecureKeeperNetServer,
+            SecureKeeperProxy,
+        )
+        from repro.workloads.securekeeper.zookeeper import ZkServer
+
+        proxy = SecureKeeperProxy(
+            process, device, tcs_count=max(8, 2 * spec.mux_connections)
+        )
+        if db_path != ":memory:":
+            logger = EventLogger(
+                process, proxy.urts, database=db_path, aex_mode=AexMode.COUNT
+            )
+            logger.install()
+        serving.logger = logger
+        proxy.make_resilient(logger=logger)
+        injector = FaultInjector(plan, sim, logger=logger)
+        injector.attach(proxy.urts)
+        injector.attach_network(listener)
+        server = SecureKeeperNetServer(
+            proxy,
+            listener,
+            ZkServer(sim),
+            breaker=CircuitBreaker(sim),
+            serving=serving,
+        )
+        backend = SecureKeeperClusterBackend(
+            spec, listener, proxy.trusted.master_key, stats=mux_stats
+        )
+        process.pthread_create(server.serve_until_closed, name=f"node{node}-acceptor")
+    else:
+        from repro.workloads.talos.app import TalosApp
+        from repro.workloads.talos.server import TalosNginx
+
+        app = TalosApp(process, device)
+        if db_path != ":memory:":
+            logger = EventLogger(
+                process, app.urts, database=db_path, aex_mode=AexMode.COUNT
+            )
+            logger.install()
+        serving.logger = logger
+        app.make_resilient(logger=logger)
+        injector = FaultInjector(plan, sim, logger=logger)
+        injector.attach(app.urts)
+        injector.attach_network(listener)
+        server = TalosNginx(
+            app, listener, breaker=CircuitBreaker(sim), serving=serving
+        )
+        backend = TalosClusterBackend(spec, listener, sim)
+        process.pthread_create(server.serve_until_closed, name=f"node{node}-nginx")
+
+    mux = ClusterMux(
+        spec,
+        node,
+        requests=mine,
+        backend=backend,
+        serving=serving,
+        retry=retry,
+        process=process,
+        listener=listener,
+        stats=mux_stats,
+    )
+    mux.start()
+    sim.run()
+
+    histogram = LatencyHistogram()
+    for latency in serving.latencies_ns:
+        histogram.add(latency)
+    metrics = serving.summary()
+    del metrics["workload"]  # already in the task key via variant/node
+    metrics["latency_hist"] = histogram.as_dict()
+    metrics["routed"] = len(mine)
+    metrics["fills"] = sum(1 for r in mine if r.op == OP_FILL)
+    metrics["failovers"] = sum(1 for r in mine if r.failover)
+    metrics["duration_ns"] = sim.now_ns
+    metrics.update(mux.stats.as_dict())
+    faults = {
+        kind: count
+        for kind, count in sorted(injector.stats.items())
+        if kind.startswith("inject:")
+    }
+
+    if logger is not None:
+        logger.uninstall()
+        db = logger.finalize()
+        digest = trace_digest(db)
+        db.close()
+    else:
+        canonical = json.dumps(metrics, sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(canonical.encode()).hexdigest()
+    return digest, metrics, faults

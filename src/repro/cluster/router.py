@@ -1,0 +1,184 @@
+"""Request routing for the sharded serving cluster.
+
+The router is the cluster's brain: it maps every scheduled arrival to a
+node under one of two policies and handles failover around node-loss
+windows.  Like the load generator it is a *pure function* of the spec and
+the schedule — the routing table is computed once, identically, by the
+parent process (for the manifest) and by every shard worker (to select its
+own slice), so no cross-process coordination is ever needed.
+
+Policies:
+
+* **hash** — consistent hashing: each node projects ``HASH_REPLICAS``
+  virtual points onto a ring; a client is served by the first node point
+  at or after its own hash.  Adding/removing a node moves only the clients
+  between it and its predecessor (the property that makes re-sharding
+  cheap), and failover walks the ring to the next *live* node;
+* **least-loaded** — sticky least-loaded assignment: a client is pinned,
+  at its first arrival, to the live node with the fewest requests routed
+  so far (ties break by index), and re-pinned the same way if its node is
+  down when a request arrives.
+
+State follows routing: the SecureKeeper variant stores encrypted znodes
+*in* each shard, so a ``get`` whose ``create`` landed on a different node
+(the client failed over in between) cannot hit.  The router rewrites such
+reads into **fill** writes — the gateway re-creates the entry on the new
+node, modelling failover onto a cold replica — so correctness is preserved
+and the cost of failover shows up honestly in the latency distribution.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.cluster.loadgen import Arrival
+from repro.cluster.spec import ClusterSpec
+
+# Virtual points per node on the consistent-hash ring.  Enough that the
+# per-node share of clients concentrates near 1/N without making ring
+# construction noticeable.
+HASH_REPLICAS = 64
+
+# Request verbs the node shards execute.
+OP_CREATE = "create"  # write a fresh entry
+OP_GET = "get"  # read an entry this shard holds
+OP_FILL = "fill"  # failover fill: re-create on a cold shard
+OP_FETCH = "fetch"  # stateless request (TaLoS GET)
+
+
+def _point(token: str) -> int:
+    """Stable 64-bit hash-ring coordinate for ``token``."""
+    return int.from_bytes(hashlib.sha256(token.encode()).digest()[:8], "big")
+
+
+@dataclass(frozen=True)
+class RoutedRequest:
+    """One arrival with its routing decision applied."""
+
+    arrival_ns: int
+    client_id: int
+    op_index: int
+    node: int
+    op: str
+    path_index: int
+    failover: bool = False
+
+
+@dataclass
+class RoutingInfo:
+    """What the router did, for reports and the cluster manifest."""
+
+    policy: str
+    assigned: list[int] = field(default_factory=list)  # requests per node
+    failovers: int = 0  # requests routed off their client's primary node
+    fills: int = 0  # reads rewritten into failover fills
+
+
+class ConsistentHashRing:
+    """The hash policy's ring, with liveness-aware lookup."""
+
+    def __init__(self, nodes: int, replicas: int = HASH_REPLICAS) -> None:
+        points: list[tuple[int, int]] = []
+        for node in range(nodes):
+            for replica in range(replicas):
+                points.append((_point(f"node-{node}:replica-{replica}"), node))
+        points.sort()
+        self._keys = [key for key, _ in points]
+        self._nodes = [node for _, node in points]
+
+    def node_for(self, client_id: int, down: frozenset = frozenset()) -> int:
+        """First live node at or after the client's ring point."""
+        start = bisect.bisect_left(self._keys, _point(f"client-{client_id}"))
+        count = len(self._nodes)
+        for offset in range(count):
+            node = self._nodes[(start + offset) % count]
+            if node not in down:
+                return node
+        raise ValueError("every node is down; nowhere to route")
+
+
+def _down_set(spec: ClusterSpec, now_ns: int) -> frozenset:
+    """Nodes inside a loss window at ``now_ns``."""
+    down = set()
+    for node, (start, end) in spec.down_windows().items():
+        if start <= now_ns < end:
+            down.add(node)
+    return frozenset(down)
+
+
+def route_requests(
+    spec: ClusterSpec, arrivals: list[Arrival]
+) -> tuple[list[RoutedRequest], RoutingInfo]:
+    """Apply the spec's policy to the schedule; pure and deterministic."""
+    info = RoutingInfo(policy=spec.policy, assigned=[0] * spec.nodes)
+    ring = ConsistentHashRing(spec.nodes) if spec.policy == "hash" else None
+    load = [0] * spec.nodes
+    sticky: dict[int, int] = {}  # least-loaded: client → pinned node
+    primary: dict[int, int] = {}  # client → first node it was given
+    created_on: dict[tuple[int, int], int] = {}  # (client, path) → node
+    stateless = spec.variant == "talos"
+
+    def pick_least_loaded(down: frozenset) -> int:
+        best = None
+        for node in range(spec.nodes):
+            if node in down:
+                continue
+            if best is None or load[node] < load[best]:
+                best = node
+        if best is None:
+            raise ValueError("every node is down; nowhere to route")
+        return best
+
+    routed: list[RoutedRequest] = []
+    for arrival in arrivals:
+        down = _down_set(spec, arrival.arrival_ns)
+        client = arrival.client_id
+        if ring is not None:
+            node = ring.node_for(client, down)
+        else:
+            node = sticky.get(client)
+            if node is None or node in down:
+                node = pick_least_loaded(down)
+                sticky[client] = node
+        primary.setdefault(client, node)
+        failover = node != primary[client]
+        if failover:
+            info.failovers += 1
+        load[node] += 1
+        info.assigned[node] += 1
+
+        if stateless:
+            op, path_index = OP_FETCH, arrival.op_index
+        elif arrival.op_index % 2 == 0:
+            op, path_index = OP_CREATE, arrival.op_index // 2
+            created_on[(client, path_index)] = node
+        else:
+            path_index = arrival.op_index // 2
+            home = created_on.get((client, path_index))
+            if home == node:
+                op = OP_GET
+            else:
+                # The write landed elsewhere (or this shard lost it to a
+                # failover switch): fill the cold shard instead of reading.
+                op = OP_FILL
+                created_on[(client, path_index)] = node
+                info.fills += 1
+        routed.append(
+            RoutedRequest(
+                arrival_ns=arrival.arrival_ns,
+                client_id=client,
+                op_index=arrival.op_index,
+                node=node,
+                op=op,
+                path_index=path_index,
+                failover=failover,
+            )
+        )
+    return routed, info
+
+
+def requests_for_node(routed: list[RoutedRequest], node: int) -> list[RoutedRequest]:
+    """The slice of the routing table one shard executes, in arrival order."""
+    return [request for request in routed if request.node == node]

@@ -1,0 +1,277 @@
+"""Cluster orchestration: fan node shards over the sweep engine, merge SLOs.
+
+``run_cluster`` turns a :class:`~repro.cluster.spec.ClusterSpec` into a
+one-axis sweep grid (``node = 0..N-1``) and runs it on
+:func:`repro.sweep.run_sweep` — every node is a shared-nothing worker
+process with its own simulation kernel, and the engine's task-index-order
+merge makes the cluster manifest byte-identical at any ``--jobs``.  The
+parent then reassembles per-node :class:`~repro.cluster.slo.SloSummary`
+records from the shard metrics and rolls them up into the cluster-wide
+availability + p50/p99/p999 report.
+
+Run directly::
+
+    python -m repro.cluster.runner --nodes 4 --clients 10000 --jobs 4
+
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster.loadgen import generate_arrivals
+from repro.cluster.router import RoutingInfo, route_requests
+from repro.cluster.slo import SloSummary, render_slo_table, rollup
+from repro.cluster.spec import ClusterSpec, ClusterSpecError
+from repro.sweep import SweepReport, run_sweep
+
+
+@dataclass
+class ClusterReport:
+    """One cluster run: the sweep beneath it plus the merged SLO view."""
+
+    spec: ClusterSpec
+    sweep: SweepReport
+    routing: RoutingInfo
+    node_slos: list[SloSummary]
+    cluster_slo: SloSummary
+
+    @property
+    def availability(self) -> float:
+        """Cluster-wide end-to-end success rate."""
+        return self.cluster_slo.success_rate
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any shard failed to run at all."""
+        return self.sweep.failed > 0 or self.sweep.lost > 0
+
+    @property
+    def manifest(self) -> str:
+        """Deterministic cluster manifest: the sweep manifest plus rollup.
+
+        Everything appended below the sweep manifest is a pure function of
+        the shard metrics, so the whole document — and its digest — stays
+        byte-identical across worker counts.  Wall-clock and attempt
+        counts never appear here.
+        """
+        cluster = self.cluster_slo.as_dict()
+        lines = [
+            self.sweep.manifest.rstrip("\n"),
+            "# cluster " + self.spec.canonical_json(),
+            "# routing "
+            + json.dumps(
+                {
+                    "policy": self.routing.policy,
+                    "assigned": self.routing.assigned,
+                    "failovers": self.routing.failovers,
+                    "fills": self.routing.fills,
+                },
+                sort_keys=True,
+                separators=(",", ":"),
+            ),
+            "# slo " + json.dumps(cluster, sort_keys=True, separators=(",", ":")),
+        ]
+        return "\n".join(lines) + "\n"
+
+    @property
+    def digest(self) -> str:
+        """SHA-256 over the cluster manifest (the CI determinism gate)."""
+        return hashlib.sha256(self.manifest.encode()).hexdigest()
+
+    def render(self) -> str:
+        """Human-readable cluster report (deterministic)."""
+        lines = [
+            f"cluster: {self.spec.describe()}",
+            f"routing: policy={self.routing.policy} "
+            f"assigned={self.routing.assigned} "
+            f"failovers={self.routing.failovers} fills={self.routing.fills}",
+            "",
+            render_slo_table(self.node_slos + [self.cluster_slo]),
+            "",
+            f"cluster availability: {self.availability:.4%} "
+            f"({self.cluster_slo.succeeded}/{self.cluster_slo.attempted})",
+        ]
+        if self.degraded:
+            lines.append(
+                f"DEGRADED: {self.sweep.failed} shard(s) failed, "
+                f"{self.sweep.lost} worker-lost"
+            )
+            for result in self.sweep.results:
+                if result.status != "ok":
+                    lines.append(f"  {result.key}: {result.status} {result.error}")
+        lines.append(f"manifest digest: {self.digest}")
+        return "\n".join(lines)
+
+
+def run_cluster(
+    spec: ClusterSpec,
+    jobs: Optional[int] = None,
+    trace_dir: Optional[str] = None,
+) -> ClusterReport:
+    """Run every node shard of ``spec`` and merge the cluster report."""
+    params = spec.to_params()
+    if trace_dir:
+        os.makedirs(trace_dir, exist_ok=True)
+        params["trace_dir"] = trace_dir
+    sweep = run_sweep(
+        spec={
+            "kind": "clusternode",
+            "seeds": [spec.seed],
+            "params": params,
+            # Sorted-axis expansion with one axis and one seed: task index
+            # == node index == merge order.
+            "grid": {"node": list(range(spec.nodes))},
+        },
+        jobs=jobs,
+    )
+    # The routing table is a pure function of the spec — recompute it here
+    # for the report rather than shipping it back from the shards.
+    _, routing = route_requests(spec, generate_arrivals(spec))
+    node_slos = []
+    for node, result in enumerate(sweep.results):
+        scope = f"{spec.variant}:node{node:02d}"
+        if result.status == "ok":
+            node_slos.append(SloSummary.from_metrics(scope, result.metrics))
+        else:
+            node_slos.append(SloSummary(scope=scope))
+    return ClusterReport(
+        spec=spec,
+        sweep=sweep,
+        routing=routing,
+        node_slos=node_slos,
+        cluster_slo=rollup(node_slos),
+    )
+
+
+def spec_from_args(args: argparse.Namespace) -> ClusterSpec:
+    """Build the spec from ``--spec`` JSON or inline flags."""
+    if args.spec:
+        if args.spec == "-":
+            mapping = json.load(sys.stdin)
+        else:
+            with open(args.spec) as f:
+                mapping = json.load(f)
+        return ClusterSpec.from_dict(mapping)
+    return ClusterSpec(
+        variant=args.variant,
+        nodes=args.nodes,
+        clients=args.clients,
+        ops_per_client=args.ops,
+        policy=args.policy,
+        seed=args.seed,
+        rate_rps=args.rate,
+        mux_connections=args.mux,
+        batch_size=args.batch,
+        chaos=not args.no_chaos,
+        kill_node=args.kill_node,
+    )
+
+
+def add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
+    """The ``sgxperf cluster`` / ``python -m repro.cluster.runner`` flags."""
+    parser.add_argument("--spec", help="JSON cluster spec file ('-' reads stdin)")
+    parser.add_argument(
+        "--variant",
+        choices=("securekeeper", "talos"),
+        default="securekeeper",
+        help="enclave serving stack each node runs",
+    )
+    parser.add_argument("--nodes", type=int, default=4, help="node count")
+    parser.add_argument(
+        "--clients", type=int, default=10_000, help="simulated open-loop clients"
+    )
+    parser.add_argument("--ops", type=int, default=2, help="operations per client")
+    parser.add_argument(
+        "--policy",
+        choices=("hash", "least-loaded"),
+        default="hash",
+        help="router policy",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="cluster seed")
+    parser.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        help="cluster-wide arrival rate in requests/s (0 = per-variant default)",
+    )
+    parser.add_argument(
+        "--mux", type=int, default=4, help="gateway connections per node"
+    )
+    parser.add_argument(
+        "--batch", type=int, default=8, help="max requests per batched send"
+    )
+    parser.add_argument(
+        "--no-chaos", action="store_true", help="run the chaos-off baseline"
+    )
+    parser.add_argument(
+        "--kill-node",
+        type=int,
+        default=-1,
+        help="node lost mid-run under chaos (-1 = last node; needs >= 2 nodes)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="shard worker processes (default: SGXPERF_JOBS, else cpu count; 0 = inline)",
+    )
+    parser.add_argument(
+        "--trace-dir", help="keep per-node trace databases in this directory"
+    )
+    parser.add_argument("--manifest", help="write the cluster manifest to this path")
+    parser.add_argument(
+        "--digest-only",
+        action="store_true",
+        help="print only the manifest digest (the CI determinism gate)",
+    )
+    parser.add_argument(
+        "--slo",
+        type=float,
+        default=0.99,
+        help="availability floor: exit 1 below this success rate (default 0.99)",
+    )
+
+
+def run_cluster_command(args: argparse.Namespace) -> int:
+    """Shared implementation behind ``sgxperf cluster`` and ``__main__``."""
+    try:
+        spec = spec_from_args(args)
+    except ClusterSpecError as exc:
+        print(f"cluster: {exc}", file=sys.stderr)
+        return 2
+    report = run_cluster(spec, jobs=args.jobs, trace_dir=args.trace_dir)
+    if args.manifest:
+        with open(args.manifest, "w") as f:
+            f.write(report.manifest)
+    if args.digest_only:
+        print(report.digest)
+    else:
+        print(report.render())
+        print(
+            f"wall-clock: {report.sweep.wall_seconds:.2f}s "
+            f"with jobs={report.sweep.jobs}"
+        )
+    if report.degraded:
+        return 1
+    return 0 if report.availability >= args.slo else 1
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Entry point: ``python -m repro.cluster.runner``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cluster.runner",
+        description="Run a sharded multi-enclave serving cluster",
+    )
+    add_cluster_arguments(parser)
+    return run_cluster_command(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,255 @@
+"""Cluster-wide SLO accounting: mergeable latency histograms and reports.
+
+Shards are shared-nothing OS processes, so per-request latencies cannot be
+shipped back raw without bloating the deterministic manifest.  Each shard
+instead folds its latencies into a :class:`LatencyHistogram` — geometric
+buckets with ``GROWTH``-factor spacing (≈2% relative resolution) — which
+is compact, exactly mergeable, and deterministic.  Per-node and
+cluster-wide p50/p99/p999 are all computed from histograms with the same
+nearest-rank convention as :func:`repro.workloads.serving.percentile_ns`,
+so one SLO schema covers the single-node campaigns and the cluster.
+
+The module also extends the analyser to cluster scale:
+:func:`cluster_slo_from_traces` merges the ``serve:*`` rows of per-shard
+trace databases into the same per-node + cluster-wide report, so a traced
+cluster run can be re-analysed offline, long after the run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.workloads.serving import NO_SAMPLES_NS, percentile_ns
+
+# Geometric bucket growth: bucket i covers [GROWTH**i, GROWTH**(i+1)).
+# 1.04 keeps the representative-value error under ~2% — far below the
+# run-to-run spread of any real latency distribution.
+GROWTH = 1.04
+_LOG_GROWTH = math.log(GROWTH)
+
+SLO_PERCENTILES = (50.0, 99.0, 99.9)
+
+
+def bucket_index(latency_ns: int) -> int:
+    """Histogram bucket for one latency sample."""
+    if latency_ns <= 1:
+        return 0
+    return int(math.log(latency_ns) / _LOG_GROWTH)
+
+
+def bucket_value_ns(index: int) -> int:
+    """Representative latency (geometric bucket midpoint) for a bucket."""
+    if index <= 0:
+        return 1
+    return int(round(GROWTH ** (index + 0.5)))
+
+
+class LatencyHistogram:
+    """Compact, mergeable latency distribution with deterministic quantiles."""
+
+    def __init__(self, buckets: Optional[dict[int, int]] = None) -> None:
+        self.buckets: dict[int, int] = dict(buckets or {})
+
+    def add(self, latency_ns: int) -> None:
+        """Fold one sample in."""
+        index = bucket_index(latency_ns)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold another histogram in (commutative, associative)."""
+        for index, count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + count
+        return self
+
+    @property
+    def total(self) -> int:
+        """Number of samples folded in."""
+        return sum(self.buckets.values())
+
+    def percentile_ns(self, pct: float) -> int:
+        """Nearest-rank percentile over the bucketed samples.
+
+        Same edge-case contract as
+        :func:`repro.workloads.serving.percentile_ns`: empty histograms
+        return :data:`~repro.workloads.serving.NO_SAMPLES_NS`.
+        """
+        total = self.total
+        if total == 0:
+            return NO_SAMPLES_NS
+        if pct <= 0.0:
+            return bucket_value_ns(min(self.buckets))
+        if pct >= 100.0:
+            return bucket_value_ns(max(self.buckets))
+        rank = min(total, max(1, math.ceil(pct / 100.0 * total)))
+        seen = 0
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                return bucket_value_ns(index)
+        return bucket_value_ns(max(self.buckets))  # unreachable
+
+    # -- JSON round-trip (manifest metrics) ---------------------------------
+
+    def as_dict(self) -> dict[str, int]:
+        """JSON-safe form: stringified bucket index → count, sorted."""
+        return {str(index): self.buckets[index] for index in sorted(self.buckets)}
+
+    @classmethod
+    def from_dict(cls, mapping: dict) -> "LatencyHistogram":
+        """Rebuild from :meth:`as_dict` output."""
+        return cls({int(index): int(count) for index, count in mapping.items()})
+
+
+@dataclass
+class SloSummary:
+    """Availability + latency SLO numbers for one scope (node or cluster)."""
+
+    scope: str
+    attempted: int = 0
+    succeeded: int = 0
+    retries: int = 0
+    shed: int = 0
+    failed: int = 0
+    histogram: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of attempted requests that eventually succeeded."""
+        if self.attempted == 0:
+            return 1.0
+        return self.succeeded / self.attempted
+
+    def merge(self, other: "SloSummary") -> "SloSummary":
+        """Fold another scope's numbers in (for cluster-wide rollup)."""
+        self.attempted += other.attempted
+        self.succeeded += other.succeeded
+        self.retries += other.retries
+        self.shed += other.shed
+        self.failed += other.failed
+        self.histogram.merge(other.histogram)
+        return self
+
+    def as_dict(self) -> dict:
+        """The shared SLO schema (superset of ``ServingStats.summary``)."""
+        return {
+            "workload": self.scope,
+            "attempted": self.attempted,
+            "succeeded": self.succeeded,
+            "retries": self.retries,
+            "shed": self.shed,
+            "failed": self.failed,
+            "success_rate": self.success_rate,
+            "p50_ns": self.histogram.percentile_ns(50),
+            "p99_ns": self.histogram.percentile_ns(99),
+            "p999_ns": self.histogram.percentile_ns(99.9),
+        }
+
+    @classmethod
+    def from_metrics(cls, scope: str, metrics: dict) -> "SloSummary":
+        """Rebuild a shard's summary from its sweep-task metrics."""
+        return cls(
+            scope=scope,
+            attempted=int(metrics.get("attempted", 0)),
+            succeeded=int(metrics.get("succeeded", 0)),
+            retries=int(metrics.get("retries", 0)),
+            shed=int(metrics.get("shed", 0)),
+            failed=int(metrics.get("failed", 0)),
+            histogram=LatencyHistogram.from_dict(metrics.get("latency_hist", {})),
+        )
+
+
+def rollup(summaries: Iterable[SloSummary], scope: str = "cluster") -> SloSummary:
+    """Merge per-node summaries into one cluster-wide summary."""
+    total = SloSummary(scope=scope)
+    for summary in summaries:
+        total.merge(summary)
+    return total
+
+
+def render_slo_table(summaries: list[SloSummary]) -> str:
+    """Fixed-width SLO table: one row per scope (deterministic)."""
+    header = (
+        f"{'scope':<22} {'ok':>8} {'attempted':>10} {'avail':>8} "
+        f"{'retries':>8} {'shed':>6} {'failed':>7} "
+        f"{'p50':>10} {'p99':>11} {'p999':>11}"
+    )
+    lines = [header]
+    for summary in summaries:
+        entry = summary.as_dict()
+        lines.append(
+            f"{entry['workload']:<22} {entry['succeeded']:>8} "
+            f"{entry['attempted']:>10} {entry['success_rate']:>8.2%} "
+            f"{entry['retries']:>8} {entry['shed']:>6} {entry['failed']:>7} "
+            f"{entry['p50_ns']:>10} {entry['p99_ns']:>11} {entry['p999_ns']:>11}"
+        )
+    return "\n".join(lines)
+
+
+# -- analyser extension: merge per-shard traces ------------------------------
+
+
+def cluster_slo_from_traces(trace_paths: Iterable[str]) -> list[dict]:
+    """Merge per-shard trace databases into the cluster SLO report.
+
+    Reads each trace's ``serve:*`` fault rows through the analyser's
+    :class:`~repro.perf.analysis.report.FaultAccumulator` (so numbers match
+    `sgxperf analyze --availability` on the individual trace exactly) and
+    appends a synthesised cluster-wide entry with the merged latency set.
+    Returns the per-workload dicts followed by the ``cluster`` dict.
+    """
+    from repro.perf.analysis.report import FaultAccumulator
+    from repro.perf.database import TraceDatabase
+
+    per_node = FaultAccumulator()
+    latencies: list[int] = []
+    totals = {"attempted": 0, "succeeded": 0, "retries": 0, "shed": 0, "failed": 0}
+    for path in sorted(trace_paths):
+        with TraceDatabase(path, readonly=True) as db:
+            for fault in db.fault_events():
+                per_node.add(fault)
+                if not fault.kind.startswith("serve:"):
+                    continue
+                if fault.kind == "serve:request":
+                    totals["attempted"] += 1
+                    totals["succeeded"] += 1
+                    detail = fault.detail
+                    if detail.startswith("ok +") and detail.endswith(" ns"):
+                        latencies.append(int(detail[4:-3]))
+                elif fault.kind == "serve:retry":
+                    totals["retries"] += 1
+                elif fault.kind == "serve:shed":
+                    totals["shed"] += 1
+                elif fault.kind == "serve:failed":
+                    totals["attempted"] += 1
+                    totals["failed"] += 1
+    entries = per_node.availability()
+    latencies.sort()
+    cluster = dict(totals)
+    cluster["workload"] = "cluster"
+    cluster["success_rate"] = (
+        cluster["succeeded"] / cluster["attempted"] if cluster["attempted"] else 1.0
+    )
+    cluster["p50_ns"] = percentile_ns(latencies, 50)
+    cluster["p99_ns"] = percentile_ns(latencies, 99)
+    cluster["p999_ns"] = percentile_ns(latencies, 99.9)
+    entries.append(cluster)
+    return entries
+
+
+def render_trace_slo(entries: list[dict]) -> str:
+    """Render :func:`cluster_slo_from_traces` output for a terminal."""
+    lines = ["-- cluster availability (from traces) " + "-" * 40]
+    for entry in entries:
+        lines.append(
+            f"{entry['workload']}: {entry['succeeded']}/{entry['attempted']} "
+            f"requests ok ({entry['success_rate']:.2%}), "
+            f"{entry['retries']} retries, {entry['shed']} shed, "
+            f"{entry['failed']} failed"
+        )
+        lines.append(
+            f"  latency p50 {entry['p50_ns']} ns, p99 {entry['p99_ns']} ns, "
+            f"p999 {entry['p999_ns']} ns"
+        )
+    return "\n".join(lines)

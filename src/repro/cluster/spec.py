@@ -1,0 +1,187 @@
+"""Declarative description of one sharded serving cluster run.
+
+A :class:`ClusterSpec` is plain frozen data — everything a run needs is a
+scalar, so the spec flattens losslessly into :mod:`repro.sweep` task
+parameters and back.  Every derived quantity (arrival horizon, per-node
+seeds, the node-loss window) is a pure function of the spec, which is what
+makes the whole cluster deterministic: any worker process, at any
+``--jobs``, reconstructs the identical schedule, routing table and chaos
+plan from the same few numbers.
+
+The default chaos model composes the serving-path network chaos of
+:func:`repro.faults.netcampaign.default_chaos_plan` (per-node resets,
+delay spikes, short writes, a brief cluster-wide partition blip) with a
+**node-loss window**: one node's network is partitioned for a slice of the
+run, and the router fails arrivals over to the surviving nodes
+(§6 of the paper scales SecureKeeper workers; we additionally take one
+away mid-run and ask the cluster to hold its SLO).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields, replace
+from typing import Optional
+
+VARIANTS = ("securekeeper", "talos")
+POLICIES = ("hash", "least-loaded")
+
+# Per-node open-loop arrival rates (requests per virtual second) used when
+# the spec does not pin one.  SecureKeeper requests cost two short ecalls;
+# a TaLoS request is a full TLS handshake served by a single worker, so its
+# sustainable rate is far lower.
+DEFAULT_NODE_RATE_RPS = {"securekeeper": 25_000.0, "talos": 700.0}
+
+
+class ClusterSpecError(ValueError):
+    """The spec cannot describe a runnable cluster."""
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """One cluster scenario: topology, load, routing and chaos knobs."""
+
+    variant: str = "securekeeper"
+    nodes: int = 4
+    clients: int = 10_000
+    ops_per_client: int = 2
+    policy: str = "hash"
+    seed: int = 0
+    # Cluster-wide open-loop arrival rate (requests / virtual second);
+    # ``0`` selects the per-variant default scaled by the node count.
+    rate_rps: float = 0.0
+    # Router/mux shape: upstream connections per node and the batch the
+    # mux coalesces into one multiplexed send.
+    mux_connections: int = 4
+    batch_size: int = 8
+    # Admission control: queued requests per node beyond this are shed.
+    admission_limit: int = 512
+    payload_bytes: int = 128
+    client_timeout_ns: int = 20_000_000
+    # Chaos: per-node network chaos plus one node partitioned ("killed")
+    # for the window [kill_start_frac, kill_end_frac) of the horizon.
+    chaos: bool = True
+    kill_node: int = -1  # -1: pick the last node (when chaos and nodes > 1)
+    kill_start_frac: float = 0.45
+    kill_end_frac: float = 0.60
+
+    def __post_init__(self) -> None:
+        if self.variant not in VARIANTS:
+            raise ClusterSpecError(
+                f"unknown variant {self.variant!r}; pick from {VARIANTS}"
+            )
+        if self.policy not in POLICIES:
+            raise ClusterSpecError(
+                f"unknown policy {self.policy!r}; pick from {POLICIES}"
+            )
+        if self.nodes < 1:
+            raise ClusterSpecError(f"need at least one node, got {self.nodes}")
+        if self.clients < 1 or self.ops_per_client < 1:
+            raise ClusterSpecError("need at least one client and one op per client")
+        if self.kill_node >= self.nodes:
+            raise ClusterSpecError(
+                f"kill_node {self.kill_node} out of range for {self.nodes} node(s)"
+            )
+        if not 0.0 <= self.kill_start_frac < self.kill_end_frac <= 1.0:
+            raise ClusterSpecError(
+                "kill window fractions must satisfy 0 <= start < end <= 1"
+            )
+
+    # -- derived quantities (all pure) --------------------------------------
+
+    @property
+    def total_requests(self) -> int:
+        """Requests the load generator schedules across the cluster."""
+        return self.clients * self.ops_per_client
+
+    @property
+    def arrival_rate_rps(self) -> float:
+        """Effective cluster-wide open-loop arrival rate."""
+        if self.rate_rps > 0.0:
+            return float(self.rate_rps)
+        return DEFAULT_NODE_RATE_RPS[self.variant] * self.nodes
+
+    @property
+    def horizon_ns(self) -> int:
+        """Expected span of the arrival schedule in virtual nanoseconds."""
+        return int(self.total_requests / self.arrival_rate_rps * 1e9)
+
+    @property
+    def killed_node(self) -> Optional[int]:
+        """Index of the node lost mid-run, or ``None`` when none is."""
+        if not self.chaos or self.nodes < 2:
+            return None
+        if self.kill_node >= 0:
+            return self.kill_node
+        return self.nodes - 1
+
+    @property
+    def kill_window_ns(self) -> Optional[tuple[int, int]]:
+        """Virtual-time window during which the killed node is gone."""
+        if self.killed_node is None:
+            return None
+        return (
+            int(self.horizon_ns * self.kill_start_frac),
+            int(self.horizon_ns * self.kill_end_frac),
+        )
+
+    def down_windows(self) -> dict[int, tuple[int, int]]:
+        """node index → down window, for the router's failover logic."""
+        if self.killed_node is None:
+            return {}
+        return {self.killed_node: self.kill_window_ns}
+
+    def node_seed(self, node_index: int) -> int:
+        """Independent simulation seed for one node's isolated kernel."""
+        digest = hashlib.sha256(
+            f"cluster:{self.seed}:node:{node_index}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") % (2**31)
+
+    # -- (de)serialisation ---------------------------------------------------
+
+    def to_params(self) -> dict:
+        """Flatten into scalar sweep parameters (seed travels separately)."""
+        params = {f.name: getattr(self, f.name) for f in fields(self)}
+        del params["seed"]  # the sweep grid owns the seed axis
+        return params
+
+    @classmethod
+    def from_params(cls, params: dict) -> "ClusterSpec":
+        """Rebuild the spec a worker received as flat task parameters."""
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in params.items() if k in names})
+
+    @classmethod
+    def from_dict(cls, mapping: dict) -> "ClusterSpec":
+        """Build from a JSON-style mapping (unknown keys are an error)."""
+        names = {f.name for f in fields(cls)}
+        unknown = sorted(set(mapping) - names)
+        if unknown:
+            raise ClusterSpecError(f"unknown spec key(s): {', '.join(unknown)}")
+        return cls(**mapping)
+
+    def describe(self) -> str:
+        """One-line human summary."""
+        parts = [
+            f"{self.variant} × {self.nodes} node(s), policy={self.policy}",
+            f"{self.clients} clients × {self.ops_per_client} op(s)",
+            f"rate {self.arrival_rate_rps:.0f}/s over {self.horizon_ns / 1e6:.1f} ms",
+        ]
+        if self.killed_node is not None:
+            start, end = self.kill_window_ns
+            parts.append(
+                f"node {self.killed_node} down {start / 1e6:.1f}-{end / 1e6:.1f} ms"
+            )
+        return ", ".join(parts)
+
+    def canonical_json(self) -> str:
+        """Stable JSON form (used in manifests and digests)."""
+        payload = {f.name: getattr(self, f.name) for f in fields(self)}
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def with_overrides(spec: ClusterSpec, **overrides) -> ClusterSpec:
+    """A copy of ``spec`` with the given fields replaced (re-validated)."""
+    return replace(spec, **overrides)

@@ -260,7 +260,8 @@ def main(argv: list[str] | None = None) -> int:
             f"{a['shed']} shed, {a['failed']} failed"
         )
         print(
-            f"  latency p50 {a['p50_ns']} ns, p99 {a['p99_ns']} ns; "
+            f"  latency p50 {a['p50_ns']} ns, p99 {a['p99_ns']} ns, "
+            f"p999 {a['p999_ns']} ns; "
             f"injected {result.injected or '{}'}; "
             f"watchdog detections {result.watchdog_detections}"
         )

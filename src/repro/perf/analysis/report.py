@@ -19,6 +19,7 @@ from repro.perf.analysis import stats as stats_mod
 from repro.perf.database import TraceDatabase
 from repro.perf.events import ECALL, OCALL
 from repro.sdk.edl import EnclaveDefinition
+from repro.workloads.serving import percentile_ns
 
 DEFAULT_TRANSITION_NS = 2_130  # §2.3.1 baseline if the trace lacks metadata
 
@@ -77,15 +78,6 @@ class FaultAccumulator:
 
     def availability(self) -> list[dict]:
         """Finalise the per-workload summaries (consumes the latencies)."""
-
-        def nearest_rank(ordered: list[int], pct: float) -> int:
-            if not ordered:
-                return 0
-            rank = max(
-                0, min(len(ordered) - 1, int(round(pct / 100.0 * len(ordered))) - 1)
-            )
-            return ordered[rank]
-
         summaries = []
         for workload in sorted(self._per_workload):
             entry = self._per_workload[workload]
@@ -93,8 +85,9 @@ class FaultAccumulator:
             entry["success_rate"] = (
                 entry["succeeded"] / entry["attempted"] if entry["attempted"] else 1.0
             )
-            entry["p50_ns"] = nearest_rank(ordered, 50)
-            entry["p99_ns"] = nearest_rank(ordered, 99)
+            entry["p50_ns"] = percentile_ns(ordered, 50)
+            entry["p99_ns"] = percentile_ns(ordered, 99)
+            entry["p999_ns"] = percentile_ns(ordered, 99.9)
             summaries.append(entry)
         return summaries
 
@@ -194,7 +187,8 @@ class AnalysisReport:
                 f"{entry['failed']} failed"
             )
             lines.append(
-                f"  latency p50 {entry['p50_ns']} ns, p99 {entry['p99_ns']} ns"
+                f"  latency p50 {entry['p50_ns']} ns, p99 {entry['p99_ns']} ns, "
+                f"p999 {entry['p999_ns']} ns"
             )
         if self.watchdog_counts:
             for kind, count in self.watchdog_counts:

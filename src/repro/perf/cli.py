@@ -19,6 +19,10 @@ Subcommands:
 * ``sweep``   — fan a declarative grid of seeded campaign/netcampaign runs
   across a shared-nothing process pool and print the deterministically
   merged report (``--jobs N``, default cpu count / ``SGXPERF_JOBS``);
+* ``cluster`` — run a sharded multi-enclave serving cluster (router,
+  gateway batching, open-loop load, optional node-loss chaos) with one
+  shard per worker process and print the merged per-node + cluster-wide
+  SLO report;
 * ``workloads`` — list recordable workloads.
 """
 
@@ -193,7 +197,9 @@ def _sweep_spec(args: argparse.Namespace) -> dict:
                 spec = json.load(f)
     else:
         if not args.kind:
-            raise SystemExit("sweep: pass a task kind (campaign|netcampaign|selftest) or --spec")
+            raise SystemExit(
+                "sweep: pass a task kind (campaign|clusternode|netcampaign|selftest) or --spec"
+            )
         spec = {"kind": args.kind, "seeds": args.seeds, "params": {}, "grid": {}}
         for item in args.params:
             name, eq, value = item.partition("=")
@@ -226,6 +232,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(report.render_report())
         print(f"wall-clock: {report.wall_seconds:.2f}s with jobs={report.jobs}")
     return 0 if report.failed == 0 and report.lost == 0 else 1
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.cluster.runner import run_cluster_command
+
+    return run_cluster_command(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -315,7 +327,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "kind",
         nargs="?",
-        choices=["campaign", "netcampaign", "selftest"],
+        choices=["campaign", "clusternode", "netcampaign", "selftest"],
         help="task kind (omit when using --spec)",
     )
     p_sweep.add_argument("--spec", help="JSON sweep spec file ('-' reads stdin)")
@@ -355,6 +367,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="print only the manifest digest (the CI determinism gate)",
     )
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="run a sharded multi-enclave serving cluster and report SLOs",
+    )
+    from repro.cluster.runner import add_cluster_arguments
+
+    add_cluster_arguments(p_cluster)
+    p_cluster.set_defaults(func=_cmd_cluster)
 
     p_list = sub.add_parser("workloads", help="list recordable workloads")
     p_list.set_defaults(func=_cmd_workloads)

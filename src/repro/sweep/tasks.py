@@ -10,6 +10,7 @@ construction.
 Task kinds:
 
 * ``campaign``    — one :func:`repro.faults.campaign.run_campaign` run;
+* ``clusternode`` — one node shard of a :mod:`repro.cluster` serving run;
 * ``netcampaign`` — one :func:`repro.faults.netcampaign.run_netcampaign` run;
 * ``selftest``    — a tiny pure-scheduler simulation (used by the engine's
   own tests and crash drills; costs milliseconds).
@@ -191,6 +192,12 @@ def _run_netcampaign_task(params: dict, db_path: str) -> tuple[str, dict, dict]:
     return result.digest, metrics, dict(result.injected)
 
 
+def _run_clusternode_task(params: dict, db_path: str) -> tuple[str, dict, dict]:
+    from repro.cluster.node import run_clusternode
+
+    return run_clusternode(params, db_path)
+
+
 def _run_selftest_task(params: dict, db_path: str) -> tuple[str, dict, dict]:
     """A tiny deterministic scheduler workload — the engine's own drill."""
     from repro.sim.kernel import Simulation
@@ -212,6 +219,7 @@ def _run_selftest_task(params: dict, db_path: str) -> tuple[str, dict, dict]:
 
 _RUNNERS = {
     "campaign": _run_campaign_task,
+    "clusternode": _run_clusternode_task,
     "netcampaign": _run_netcampaign_task,
     "selftest": _run_selftest_task,
 }

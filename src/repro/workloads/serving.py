@@ -22,6 +22,7 @@ identical traces — on every run.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any, Optional
 
@@ -33,6 +34,37 @@ SERVE_REQUEST = "serve:request"
 SERVE_RETRY = "serve:retry"
 SERVE_SHED = "serve:shed"
 SERVE_FAILED = "serve:failed"
+
+# Sentinel returned by :func:`percentile_ns` when there are no samples: a
+# latency can never be negative, so ``-1`` is unambiguous, and reports that
+# would otherwise print a fake ``0 ns`` percentile show the gap instead.
+NO_SAMPLES_NS = -1
+
+
+def percentile_ns(ordered: list, pct: float) -> int:
+    """Nearest-rank percentile over an *ascending-sorted* sample list.
+
+    The nearest-rank definition (``ceil(pct/100 * n)``) is used exactly,
+    with the edge cases pinned down instead of left to rounding luck:
+
+    * no samples       → :data:`NO_SAMPLES_NS` (``-1``);
+    * one sample       → that sample, for every ``pct``;
+    * ``pct <= 0``     → the minimum;
+    * ``pct >= 100``   → the maximum (never an out-of-range index).
+
+    Shared by :class:`ServingStats`, the analyser's availability section
+    and the cluster SLO reports, so every layer reports the same numbers
+    for the same samples.
+    """
+    count = len(ordered)
+    if count == 0:
+        return NO_SAMPLES_NS
+    if pct <= 0.0:
+        return ordered[0]
+    if pct >= 100.0:
+        return ordered[-1]
+    rank = math.ceil(pct / 100.0 * count)
+    return ordered[min(count, max(1, rank)) - 1]
 
 
 @dataclass(frozen=True)
@@ -155,15 +187,20 @@ class ServingStats:
         return self.succeeded / self.attempted
 
     def percentile_ns(self, pct: float) -> int:
-        """Latency percentile (nearest-rank) over successful requests."""
-        if not self.latencies_ns:
-            return 0
-        ordered = sorted(self.latencies_ns)
-        rank = max(0, min(len(ordered) - 1, int(round(pct / 100.0 * len(ordered))) - 1))
-        return ordered[rank]
+        """Latency percentile (nearest-rank) over successful requests.
+
+        Returns :data:`NO_SAMPLES_NS` (``-1``) when nothing succeeded yet —
+        see :func:`percentile_ns` for the exact edge-case contract.
+        """
+        return percentile_ns(sorted(self.latencies_ns), pct)
 
     def summary(self) -> dict:
-        """Availability summary for reports and campaign output."""
+        """Availability summary for reports and campaign output.
+
+        The p50/p99/p999 triple is the SLO schema shared by single-node
+        campaigns and the cluster reports of :mod:`repro.cluster`.
+        """
+        ordered = sorted(self.latencies_ns)
         return {
             "workload": self.workload,
             "attempted": self.attempted,
@@ -172,6 +209,7 @@ class ServingStats:
             "shed": self.shed,
             "failed": self.failed,
             "success_rate": self.success_rate,
-            "p50_ns": self.percentile_ns(50),
-            "p99_ns": self.percentile_ns(99),
+            "p50_ns": percentile_ns(ordered, 50),
+            "p99_ns": percentile_ns(ordered, 99),
+            "p999_ns": percentile_ns(ordered, 99.9),
         }

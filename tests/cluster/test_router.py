@@ -1,0 +1,123 @@
+"""Router policies: ring stability, failover, and state-follows-routing."""
+
+import pytest
+
+from repro.cluster.loadgen import generate_arrivals
+from repro.cluster.router import (
+    OP_CREATE,
+    OP_FETCH,
+    OP_FILL,
+    OP_GET,
+    ConsistentHashRing,
+    requests_for_node,
+    route_requests,
+)
+from repro.cluster.spec import ClusterSpec
+
+
+def _spec(**overrides):
+    base = dict(nodes=4, clients=200, ops_per_client=2, chaos=False)
+    base.update(overrides)
+    return ClusterSpec(**base)
+
+
+class TestConsistentHashRing:
+    def test_lookup_is_stable(self):
+        ring = ConsistentHashRing(4)
+        assert all(
+            ring.node_for(client) == ring.node_for(client) for client in range(100)
+        )
+
+    def test_spread_is_roughly_even(self):
+        ring = ConsistentHashRing(4)
+        counts = [0] * 4
+        for client in range(2000):
+            counts[ring.node_for(client)] += 1
+        # 64 virtual points per node keeps every share within ~2x of fair.
+        assert min(counts) > 2000 / 4 / 2
+        assert max(counts) < 2000 / 4 * 2
+
+    def test_down_node_fails_over_without_moving_others(self):
+        ring = ConsistentHashRing(4)
+        before = {client: ring.node_for(client) for client in range(500)}
+        after = {
+            client: ring.node_for(client, down=frozenset({2}))
+            for client in range(500)
+        }
+        for client in range(500):
+            if before[client] != 2:
+                # Consistent hashing: only the down node's clients move.
+                assert after[client] == before[client]
+            else:
+                assert after[client] != 2
+
+    def test_all_down_raises(self):
+        ring = ConsistentHashRing(2)
+        with pytest.raises(ValueError):
+            ring.node_for(0, down=frozenset({0, 1}))
+
+
+class TestRouting:
+    def test_every_request_routed_once(self):
+        spec = _spec()
+        arrivals = generate_arrivals(spec)
+        routed, info = route_requests(spec, arrivals)
+        assert len(routed) == len(arrivals)
+        assert sum(info.assigned) == len(arrivals)
+        shards = [requests_for_node(routed, node) for node in range(spec.nodes)]
+        assert sum(len(shard) for shard in shards) == len(routed)
+
+    def test_no_chaos_means_no_failovers(self):
+        spec = _spec()
+        _, info = route_requests(spec, generate_arrivals(spec))
+        assert info.failovers == 0
+        assert info.fills == 0
+
+    def test_kill_window_forces_failover_and_fills(self):
+        spec = _spec(chaos=True, ops_per_client=4, kill_start_frac=0.2,
+                     kill_end_frac=0.8)
+        routed, info = route_requests(spec, generate_arrivals(spec))
+        killed = spec.killed_node
+        start, end = spec.kill_window_ns
+        in_window = [r for r in routed if start <= r.arrival_ns < end]
+        assert in_window, "kill window must overlap the schedule"
+        assert all(r.node != killed for r in in_window)
+        assert info.failovers > 0
+        # Some get whose create landed on the killed node becomes a fill.
+        assert info.fills > 0
+        assert any(r.op == OP_FILL for r in routed)
+
+    def test_get_targets_the_creating_node(self):
+        spec = _spec(ops_per_client=4)
+        routed, _ = route_requests(spec, generate_arrivals(spec))
+        created_on = {}
+        for request in routed:
+            key = (request.client_id, request.path_index)
+            if request.op in (OP_CREATE, OP_FILL):
+                created_on[key] = request.node
+            elif request.op == OP_GET:
+                assert created_on[key] == request.node
+
+    def test_least_loaded_is_sticky_and_balanced(self):
+        spec = _spec(policy="least-loaded")
+        routed, info = route_requests(spec, generate_arrivals(spec))
+        pinned = {}
+        for request in routed:
+            node = pinned.setdefault(request.client_id, request.node)
+            assert request.node == node  # no chaos: the pin never moves
+        # Near-perfect balance: within 5% of fair share across nodes.
+        assert max(info.assigned) - min(info.assigned) <= 0.05 * sum(info.assigned)
+
+    def test_talos_requests_are_stateless_fetches(self):
+        spec = _spec(variant="talos", clients=20, rate_rps=1_000.0)
+        routed, info = route_requests(spec, generate_arrivals(spec))
+        assert all(r.op == OP_FETCH for r in routed)
+        assert info.fills == 0
+
+    def test_routing_is_deterministic(self):
+        spec = _spec(chaos=True, seed=9)
+        arrivals = generate_arrivals(spec)
+        first = route_requests(spec, arrivals)
+        second = route_requests(spec, arrivals)
+        assert first[0] == second[0]
+        assert first[1].assigned == second[1].assigned

@@ -1,0 +1,80 @@
+"""ClusterSpec validation, derived quantities, and param round-trips."""
+
+import json
+
+import pytest
+
+from repro.cluster.spec import ClusterSpec, ClusterSpecError, with_overrides
+
+
+class TestValidation:
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ClusterSpecError):
+            ClusterSpec(variant="redis")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ClusterSpecError):
+            ClusterSpec(policy="random")
+
+    def test_kill_node_must_exist(self):
+        with pytest.raises(ClusterSpecError):
+            ClusterSpec(nodes=2, kill_node=2)
+
+    def test_kill_window_must_be_ordered(self):
+        with pytest.raises(ClusterSpecError):
+            ClusterSpec(kill_start_frac=0.6, kill_end_frac=0.5)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ClusterSpecError, match="replicas"):
+            ClusterSpec.from_dict({"nodes": 2, "replicas": 3})
+
+
+class TestDerived:
+    def test_default_rate_scales_with_nodes(self):
+        one = ClusterSpec(nodes=1, chaos=False)
+        four = ClusterSpec(nodes=4)
+        assert four.arrival_rate_rps == pytest.approx(4 * one.arrival_rate_rps)
+
+    def test_no_kill_with_single_node_or_chaos_off(self):
+        assert ClusterSpec(nodes=1, chaos=False).killed_node is None
+        assert ClusterSpec(nodes=4, chaos=False).killed_node is None
+        assert ClusterSpec(nodes=1).killed_node is None  # nothing to fail over to
+
+    def test_default_kill_is_last_node(self):
+        spec = ClusterSpec(nodes=4)
+        assert spec.killed_node == 3
+        start, end = spec.kill_window_ns
+        assert 0 < start < end <= spec.horizon_ns
+        assert spec.down_windows() == {3: (start, end)}
+
+    def test_node_seeds_are_distinct_and_stable(self):
+        spec = ClusterSpec(nodes=8)
+        seeds = [spec.node_seed(i) for i in range(8)]
+        assert len(set(seeds)) == 8
+        assert seeds == [spec.node_seed(i) for i in range(8)]
+        assert seeds != [ClusterSpec(nodes=8, seed=1).node_seed(i) for i in range(8)]
+
+
+class TestRoundTrip:
+    def test_params_round_trip(self):
+        spec = ClusterSpec(nodes=3, clients=500, policy="least-loaded", seed=9)
+        params = spec.to_params()
+        assert "seed" not in params  # the sweep grid owns the seed axis
+        rebuilt = ClusterSpec.from_params({**params, "seed": 9, "node": 1})
+        assert rebuilt == spec
+
+    def test_canonical_json_is_stable_and_complete(self):
+        spec = ClusterSpec(nodes=2, clients=10)
+        payload = json.loads(spec.canonical_json())
+        assert payload["nodes"] == 2 and payload["seed"] == 0
+        assert spec.canonical_json() == ClusterSpec(nodes=2, clients=10).canonical_json()
+
+    def test_with_overrides_revalidates(self):
+        spec = ClusterSpec(nodes=4)
+        assert with_overrides(spec, nodes=2).nodes == 2
+        with pytest.raises(ClusterSpecError):
+            with_overrides(spec, nodes=0)
+
+    def test_describe_mentions_kill_window(self):
+        assert "down" in ClusterSpec(nodes=2).describe()
+        assert "down" not in ClusterSpec(nodes=2, chaos=False).describe()

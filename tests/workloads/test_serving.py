@@ -2,6 +2,7 @@
 
 from repro.sim.kernel import Simulation
 from repro.workloads.serving import (
+    NO_SAMPLES_NS,
     SERVE_FAILED,
     SERVE_REQUEST,
     SERVE_RETRY,
@@ -9,6 +10,7 @@ from repro.workloads.serving import (
     CircuitBreaker,
     RetryPolicy,
     ServingStats,
+    percentile_ns,
 )
 
 
@@ -103,7 +105,8 @@ class TestServingStats:
     def test_empty_stats_report_perfect_rate(self):
         stats = ServingStats(Simulation(), "w")
         assert stats.success_rate == 1.0
-        assert stats.percentile_ns(99) == 0
+        # No samples is reported as the sentinel, never a fake 0 ns.
+        assert stats.percentile_ns(99) == NO_SAMPLES_NS
 
     def test_percentiles_nearest_rank(self):
         stats = ServingStats(Simulation(), "w")
@@ -122,6 +125,7 @@ class TestServingStats:
         assert summary["shed"] == 1
         assert summary["success_rate"] == 1.0
         assert summary["p50_ns"] == 1_000
+        assert summary["p999_ns"] == 1_000
 
     def test_rows_mirrored_into_fault_log(self):
         log = _FaultLog()
@@ -137,3 +141,29 @@ class TestServingStats:
     def test_no_logger_writes_nothing(self):
         stats = ServingStats(Simulation(), "w")
         stats.record_success(1)  # must not raise without a logger
+
+
+class TestPercentileNs:
+    """Edge-case contract of the shared nearest-rank helper."""
+
+    def test_empty_returns_sentinel_for_every_pct(self):
+        for pct in (0, 50, 99, 99.9, 100):
+            assert percentile_ns([], pct) == NO_SAMPLES_NS
+
+    def test_single_sample_is_every_percentile(self):
+        for pct in (0, 0.1, 50, 99.9, 100):
+            assert percentile_ns([7_000], pct) == 7_000
+
+    def test_pct_bounds_clamp_to_min_and_max(self):
+        ordered = [10, 20, 30]
+        assert percentile_ns(ordered, -5) == 10
+        assert percentile_ns(ordered, 0) == 10
+        assert percentile_ns(ordered, 100) == 30
+        assert percentile_ns(ordered, 250) == 30
+
+    def test_nearest_rank_definition(self):
+        ordered = list(range(1, 101))  # 1..100
+        assert percentile_ns(ordered, 50) == 50
+        assert percentile_ns(ordered, 99) == 99
+        assert percentile_ns(ordered, 99.9) == 100
+        assert percentile_ns(ordered, 1) == 1
