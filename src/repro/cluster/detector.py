@@ -1,0 +1,299 @@
+"""Deterministic virtual-time heartbeat failure detection.
+
+The gateway probes every node on a fixed virtual-clock schedule and folds
+the observed probe outcomes into per-node suspicion state — the only
+liveness signal the router is allowed to use.  PR 7's router read the kill
+window straight out of the spec, an oracle no real deployment has; this
+module replaces it with detection from observation.
+
+Everything here is a **pure fold over the spec**: probe times are
+``k * spec.heartbeat_ns``, each probe's outcome is decided by the spec's
+ground-truth chaos windows plus one draw from a named
+:class:`~repro.sim.rng.DeterministicRng` stream, and suspicion state is a
+deterministic state machine over the outcome sequence.  No simulation
+runs, no wall clock, no per-``--jobs`` divergence — every worker process
+rebuilds the identical :class:`DetectorTimeline` from the same
+:class:`~repro.cluster.spec.ClusterSpec`, which is what keeps cluster
+manifests byte-identical at any parallelism.
+
+Outcome model per probe, per node:
+
+* **lost** — the node is inside a down pulse (kill window, flap pulse) or
+  an asymmetric partition (the probe reaches it, the ack never returns),
+  or background noise ate the heartbeat (probability ``P_NOISE_LOST``);
+* **late** — the node is inside a gray-failure slow window (alive, but
+  dragging past the deadline), or background jitter delayed the ack
+  (probability ``P_NOISE_LATE``);
+* **ok** — everything else.
+
+Suspicion state machine (per node):
+
+* ``suspect_after`` consecutive *lost* probes → suspected (crash / partition);
+* ``2 * suspect_after`` consecutive *late* probes → suspected (gray
+  failure: slow is eventually as bad as dead, but we give it more rope);
+* while suspected, ``recover_after`` consecutive *ok* probes → healthy
+  again, and the un-suspect time is recorded as a **recovery point** (the
+  router schedules hinted handoff there).
+
+Noise rates are chosen so a false suspicion needs an astronomically
+unlikely streak (``P_NOISE_LOST ** suspect_after``), yet single dropped
+heartbeats still exercise the streak-reset logic on every run.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.cluster.spec import ClusterSpec
+from repro.sim.rng import DeterministicRng
+
+# Background probe noise (per probe, per node).  Deterministic draws from
+# the cluster seed; see module docstring for the false-positive math.
+P_NOISE_LOST = 0.002
+P_NOISE_LATE = 0.008
+
+# Probe outcomes (also the vocabulary of DetectorTimeline.summary()).
+OK = "ok"
+LATE = "late"
+LOST = "lost"
+
+
+@dataclass(frozen=True)
+class SuspicionInterval:
+    """One contiguous span during which a node was suspected.
+
+    ``start_ns`` is the probe time that crossed the suspicion threshold;
+    ``end_ns`` is the probe time that cleared it (the recovery point), or
+    the end of the probe schedule if the node never recovered.
+    """
+
+    node: int
+    start_ns: int
+    end_ns: int
+    # Why suspicion triggered: "lost" (crash-like) or "late" (gray).
+    cause: str
+
+
+class DetectorTimeline:
+    """Per-node suspicion intervals, queryable at any virtual time.
+
+    Built once per spec by :func:`build_detector`; the router consults
+    :meth:`suspected` / :meth:`down_set` instead of the spec's kill
+    window, and :meth:`recovery_points` drives hinted handoff.
+    """
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        intervals: tuple[SuspicionInterval, ...],
+        counts: dict[str, int],
+        per_node_counts: dict[int, dict[str, int]],
+        end_ns: int,
+    ) -> None:
+        self.spec = spec
+        self.intervals = intervals
+        self.counts = counts
+        self.per_node_counts = per_node_counts
+        self._end_ns = end_ns
+        self._by_node: dict[int, list[SuspicionInterval]] = {}
+        for interval in intervals:
+            self._by_node.setdefault(interval.node, []).append(interval)
+        self._starts: dict[int, list[int]] = {
+            node: [iv.start_ns for iv in ivs] for node, ivs in self._by_node.items()
+        }
+
+    # -- queries (hot path: one call per routed request per preference) -----
+
+    def suspected(self, node: int, now_ns: int) -> bool:
+        """Whether ``node`` is suspected down at virtual time ``now_ns``."""
+        starts = self._starts.get(node)
+        if not starts:
+            return False
+        idx = bisect_right(starts, now_ns) - 1
+        if idx < 0:
+            return False
+        return now_ns < self._by_node[node][idx].end_ns
+
+    def down_set(self, now_ns: int) -> frozenset[int]:
+        """Every node suspected at ``now_ns`` (the router's failover input)."""
+        return frozenset(
+            node for node in self._by_node if self.suspected(node, now_ns)
+        )
+
+    def suspicion_intervals(self, node: int) -> tuple[SuspicionInterval, ...]:
+        """All suspicion spans recorded for ``node``, in time order."""
+        return tuple(self._by_node.get(node, ()))
+
+    def recovery_points(self, node: int) -> tuple[int, ...]:
+        """Times at which ``node`` went from suspected back to healthy."""
+        return tuple(
+            iv.end_ns for iv in self._by_node.get(node, ()) if iv.end_ns < self.end_ns
+        )
+
+    @property
+    def end_ns(self) -> int:
+        """Last probe time in the schedule (open intervals end here)."""
+        return self._end_ns
+
+    # -- accuracy vs. the spec's ground truth -------------------------------
+
+    def accuracy(self) -> dict:
+        """Detection quality measured against the spec's chaos schedule.
+
+        The router never sees the ground truth; this comparison exists so
+        reports (and tests) can state how quickly and how truthfully the
+        detector tracked the actual failures.
+        """
+        truth_down = self.spec.down_windows()
+        truth_slow = self.spec.slow_windows()
+        lags: list[int] = []
+        detected_pulses = 0
+        total_pulses = sum(len(ws) for ws in truth_down.values())
+        for node, pulses in truth_down.items():
+            ivs = self._by_node.get(node, [])
+            for p_start, p_end in pulses:
+                hits = [
+                    iv for iv in ivs if iv.start_ns < p_end and iv.end_ns > p_start
+                ]
+                if hits:
+                    detected_pulses += 1
+                    lags.append(max(0, hits[0].start_ns - p_start))
+        false_suspicions = 0
+        gray_detections = 0
+        for iv in self.intervals:
+            down = truth_down.get(iv.node, ())
+            slow = truth_slow.get(iv.node, ())
+            overlaps_down = any(
+                iv.start_ns < end and iv.end_ns > start for start, end in down
+            )
+            overlaps_slow = any(
+                iv.start_ns < end and iv.end_ns > start for start, end in slow
+            )
+            if overlaps_slow and not overlaps_down:
+                gray_detections += 1
+            elif not overlaps_down and not overlaps_slow:
+                false_suspicions += 1
+        return {
+            "pulses": total_pulses,
+            "detected": detected_pulses,
+            "gray_detections": gray_detections,
+            "false_suspicions": false_suspicions,
+            "mean_lag_ns": int(sum(lags) / len(lags)) if lags else 0,
+            "max_lag_ns": max(lags) if lags else 0,
+        }
+
+    def summary(self) -> dict:
+        """Manifest-ready health rollup (stable key order via json dump)."""
+        return {
+            "heartbeat_ns": self.spec.heartbeat_ns,
+            "probes": self.counts.get("probes", 0),
+            "ok": self.counts.get(OK, 0),
+            "late": self.counts.get(LATE, 0),
+            "lost": self.counts.get(LOST, 0),
+            "suspicions": len(self.intervals),
+            **self.accuracy(),
+        }
+
+
+def probe_outcome(spec: ClusterSpec, node: int, t_ns: int, noise: float) -> str:
+    """Classify one heartbeat probe of ``node`` at virtual time ``t_ns``.
+
+    ``noise`` is the probe's single uniform draw; windows dominate noise
+    so a probe inside a down pulse is *always* lost regardless of the
+    draw (the draw is still consumed — fixed draw counts keep the stream
+    alignment identical whatever the chaos schedule says).
+    """
+    for start, end in spec.down_windows().get(node, ()):
+        if start <= t_ns < end:
+            return LOST
+    for start, end in spec.slow_windows().get(node, ()):
+        if start <= t_ns < end:
+            return LATE
+    if noise < P_NOISE_LOST:
+        return LOST
+    if noise < P_NOISE_LOST + P_NOISE_LATE:
+        return LATE
+    return OK
+
+
+def build_detector(spec: ClusterSpec) -> DetectorTimeline:
+    """Fold the full probe schedule into a :class:`DetectorTimeline`.
+
+    Pure function of ``spec``: probe times, outcomes and the suspicion
+    state machine involve no simulation and no wall clock.  The schedule
+    runs past the horizon by enough probes to observe recovery from a
+    failure ending exactly at the horizon.
+    """
+    interval = spec.heartbeat_ns
+    tail = (spec.suspect_after + spec.recover_after + 2) * interval
+    end_ns = spec.horizon_ns + tail
+    rngs = {
+        node: DeterministicRng(spec.seed).stream(f"cluster:heartbeat:{node}")
+        for node in range(spec.nodes)
+    }
+    late_threshold = 2 * spec.suspect_after
+
+    intervals: list[SuspicionInterval] = []
+    counts: dict[str, int] = {"probes": 0, OK: 0, LATE: 0, LOST: 0}
+    per_node: dict[int, dict[str, int]] = {
+        node: {OK: 0, LATE: 0, LOST: 0} for node in range(spec.nodes)
+    }
+    # Per-node fold state: streak counters plus the open suspicion, if any.
+    lost_streak = [0] * spec.nodes
+    late_streak = [0] * spec.nodes
+    ok_streak = [0] * spec.nodes
+    open_since: list[int] = [-1] * spec.nodes
+    open_cause: list[str] = [""] * spec.nodes
+
+    t = interval
+    last_t = interval
+    while t <= end_ns:
+        last_t = t
+        for node in range(spec.nodes):
+            outcome = probe_outcome(spec, node, t, rngs[node].random())
+            counts["probes"] += 1
+            counts[outcome] += 1
+            per_node[node][outcome] += 1
+            if outcome == LOST:
+                lost_streak[node] += 1
+                late_streak[node] = 0
+                ok_streak[node] = 0
+                if open_since[node] < 0 and lost_streak[node] >= spec.suspect_after:
+                    open_since[node] = t
+                    open_cause[node] = LOST
+            elif outcome == LATE:
+                late_streak[node] += 1
+                lost_streak[node] = 0
+                ok_streak[node] = 0
+                if open_since[node] < 0 and late_streak[node] >= late_threshold:
+                    open_since[node] = t
+                    open_cause[node] = LATE
+            else:
+                ok_streak[node] += 1
+                lost_streak[node] = 0
+                late_streak[node] = 0
+                if open_since[node] >= 0 and ok_streak[node] >= spec.recover_after:
+                    intervals.append(
+                        SuspicionInterval(
+                            node=node,
+                            start_ns=open_since[node],
+                            end_ns=t,
+                            cause=open_cause[node],
+                        )
+                    )
+                    open_since[node] = -1
+                    open_cause[node] = ""
+        t += interval
+    for node in range(spec.nodes):
+        if open_since[node] >= 0:
+            intervals.append(
+                SuspicionInterval(
+                    node=node,
+                    start_ns=open_since[node],
+                    end_ns=last_t,
+                    cause=open_cause[node],
+                )
+            )
+    intervals.sort(key=lambda iv: (iv.node, iv.start_ns))
+    return DetectorTimeline(spec, tuple(intervals), counts, per_node, last_t)

@@ -10,10 +10,11 @@ shards, and every derived quantity is a pure function of the spec, so
 the merged cluster manifest is byte-identical at any ``--jobs``.
 
 Node loss composes with the existing network chaos rather than being a
-special mechanism: the killed node's shard gets its kill window appended
+special mechanism: the killed node's shard gets its down pulses appended
 to the chaos plan's partition list (its link is down — in-flight requests
-stall and retry), while the router has already failed arrivals inside the
-window over to the surviving nodes.
+stall and retry), while the router — acting only on the heartbeat
+detector's suspicion timeline, never on this ground truth — has failed
+arrivals over to replicas and scheduled hinted handoffs for recovery.
 """
 
 from __future__ import annotations
@@ -29,7 +30,14 @@ from repro.cluster.proxy import (
     SecureKeeperClusterBackend,
     TalosClusterBackend,
 )
-from repro.cluster.router import OP_FILL, requests_for_node, route_requests
+from repro.cluster.router import (
+    OP_FILL,
+    ROLE_CLIENT,
+    ROLE_HANDOFF,
+    ROLE_REPLICA,
+    requests_for_node,
+    route_requests,
+)
 from repro.cluster.slo import LatencyHistogram
 from repro.cluster.spec import ClusterSpec
 from repro.sgx.device import SgxDevice
@@ -38,18 +46,38 @@ from repro.sim.process import SimProcess
 
 
 def node_chaos_plan(spec: ClusterSpec, node: int):
-    """The chaos plan one shard arms (kill window included for the victim)."""
+    """The chaos plan one shard arms, from the spec's ground-truth schedule.
+
+    A killed node gets its down pulses appended to the partition list
+    (flapping splits the kill window into several pulses); with
+    ``spec.asym`` the pulses land on the *asymmetric* partition list
+    instead — requests still arrive, replies stall, and only the failure
+    detector can tell the node is effectively gone.  Slow (gray-failure)
+    nodes get their drag window and surcharge.  The router never reads
+    any of this — it acts purely on heartbeat suspicion.
+    """
     from repro.faults.netcampaign import default_chaos_plan
     from repro.faults.plan import FaultPlan
 
     if not spec.chaos:
         return FaultPlan.disabled()
     plan = default_chaos_plan()
-    if node == spec.killed_node:
-        net = plan.network
-        plan = replace(
-            plan, network=replace(net, partitions=net.partitions + (spec.kill_window_ns,))
+    net = plan.network
+    pulses = spec.down_windows().get(node, ())
+    if pulses:
+        if spec.asym:
+            net = replace(net, asym_partitions=net.asym_partitions + tuple(pulses))
+        else:
+            net = replace(net, partitions=net.partitions + tuple(pulses))
+    slow = spec.slow_windows().get(node, ())
+    if slow:
+        net = replace(
+            net,
+            slow_windows=net.slow_windows + tuple(slow),
+            slow_extra_ns=spec.slow_extra_ns,
         )
+    if net is not plan.network:
+        plan = replace(plan, network=net)
     return plan
 
 
@@ -116,7 +144,7 @@ def run_clusternode(params: dict, db_path: str = ":memory:") -> tuple[str, dict,
             serving=serving,
         )
         backend = SecureKeeperClusterBackend(
-            spec, listener, proxy.trusted.master_key, stats=mux_stats
+            spec, listener, proxy.trusted.master_key, stats=mux_stats, serving=serving
         )
         process.pthread_create(server.serve_until_closed, name=f"node{node}-acceptor")
     else:
@@ -161,8 +189,15 @@ def run_clusternode(params: dict, db_path: str = ":memory:") -> tuple[str, dict,
     del metrics["workload"]  # already in the task key via variant/node
     metrics["latency_hist"] = histogram.as_dict()
     metrics["routed"] = len(mine)
-    metrics["fills"] = sum(1 for r in mine if r.op == OP_FILL)
-    metrics["failovers"] = sum(1 for r in mine if r.failover)
+    metrics["client_requests"] = sum(1 for r in mine if r.role == ROLE_CLIENT)
+    metrics["replica_writes"] = sum(1 for r in mine if r.role == ROLE_REPLICA)
+    metrics["handoffs"] = sum(1 for r in mine if r.role == ROLE_HANDOFF)
+    metrics["fills"] = sum(
+        1 for r in mine if r.op == OP_FILL and r.role == ROLE_CLIENT
+    )
+    metrics["failovers"] = sum(
+        1 for r in mine if r.failover and r.role == ROLE_CLIENT
+    )
     metrics["duration_ns"] = sim.now_ns
     metrics.update(mux.stats.as_dict())
     faults = {

@@ -1,0 +1,203 @@
+"""Guardian-style session-orderliness validation over cluster traces.
+
+Guardian (PAPERS.md) checks that an enclave's *interface* is used in
+protocol order — calls arrive in the states that allow them.  The cluster
+gateway has exactly such a protocol: each upstream connection owns one
+enclave session that must be registered with ``MSG_CONNECT`` **exactly
+once** (re-registering leaks a 40 KiB in-enclave queue per offence), must
+not carry request batches before it is registered, and must not send
+anything after the gateway closed it.
+
+The recovery machinery is precisely where such bugs hide — reconnect
+paths that re-send ``MSG_CONNECT``, retry loops that race shutdown — so
+the gateway mirrors its session lifecycle into the trace's fault table
+(``session:connect`` / ``session:batch`` / ``session:close`` rows, see
+:mod:`repro.cluster.proxy`) and this module folds those rows, per trace
+and per gateway identity, into a verdict.  Violations surface as
+analyser findings in ``sgxperf analyze --cluster``.
+
+The fold is deterministic and streaming-friendly: rows are consumed in
+trace order (the ``faults`` table is time-ordered) and the per-session
+state is just three booleans and counters.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.cluster.proxy import SESSION_BATCH, SESSION_CLOSE, SESSION_CONNECT
+
+# Violation kinds (stable vocabulary for findings and tests).
+DUPLICATE_CONNECT = "duplicate-connect"
+BATCH_BEFORE_CONNECT = "batch-before-connect"
+BATCH_AFTER_CLOSE = "batch-after-close"
+DUPLICATE_CLOSE = "duplicate-close"
+NEVER_CONNECTED = "never-connected"
+
+_GATEWAY_RE = re.compile(r"^gateway (\d+):")
+
+
+@dataclass(frozen=True)
+class OrderlinessViolation:
+    """One session-protocol violation observed in a trace."""
+
+    trace: str
+    gateway_id: int
+    kind: str
+    timestamp_ns: int
+    detail: str
+
+    def describe(self) -> str:
+        """One-line finding text."""
+        return (
+            f"{self.kind}: gateway {self.gateway_id} at {self.timestamp_ns} ns"
+            f" ({self.trace}): {self.detail}"
+        )
+
+
+@dataclass
+class _SessionState:
+    connects: int = 0
+    batches: int = 0
+    closed: bool = False
+
+
+@dataclass
+class SessionAudit:
+    """Fold state + results for one trace's session rows."""
+
+    trace: str = ""
+    sessions: dict[int, _SessionState] = field(default_factory=dict)
+    violations: list[OrderlinessViolation] = field(default_factory=list)
+    rows: int = 0
+
+    def _state(self, gateway_id: int) -> _SessionState:
+        return self.sessions.setdefault(gateway_id, _SessionState())
+
+    def _flag(self, gateway_id: int, kind: str, ts_ns: int, detail: str) -> None:
+        self.violations.append(
+            OrderlinessViolation(
+                trace=self.trace,
+                gateway_id=gateway_id,
+                kind=kind,
+                timestamp_ns=ts_ns,
+                detail=detail,
+            )
+        )
+
+    def add(self, fault) -> None:
+        """Fold one fault row in (non-``session:*`` rows are ignored)."""
+        if not fault.kind.startswith("session:"):
+            return
+        match = _GATEWAY_RE.match(fault.detail)
+        if match is None:
+            return
+        self.rows += 1
+        gateway_id = int(match.group(1))
+        state = self._state(gateway_id)
+        ts = fault.timestamp_ns
+        if fault.kind == SESSION_CONNECT:
+            state.connects += 1
+            if state.connects > 1:
+                self._flag(
+                    gateway_id,
+                    DUPLICATE_CONNECT,
+                    ts,
+                    f"MSG_CONNECT sent {state.connects} times "
+                    "(each repeat leaks a 40 KiB in-enclave session queue)",
+                )
+        elif fault.kind == SESSION_BATCH:
+            state.batches += 1
+            if state.connects == 0:
+                self._flag(
+                    gateway_id,
+                    BATCH_BEFORE_CONNECT,
+                    ts,
+                    "request batch sent on an unregistered session",
+                )
+            if state.closed:
+                self._flag(
+                    gateway_id,
+                    BATCH_AFTER_CLOSE,
+                    ts,
+                    "request batch sent after the gateway closed the session",
+                )
+        elif fault.kind == SESSION_CLOSE:
+            if state.closed:
+                self._flag(
+                    gateway_id, DUPLICATE_CLOSE, ts, "session closed twice"
+                )
+            state.closed = True
+
+    def finish(self) -> None:
+        """End-of-trace checks (batches on sessions that never connected)."""
+        for gateway_id in sorted(self.sessions):
+            state = self.sessions[gateway_id]
+            if state.batches and state.connects == 0:
+                self._flag(
+                    gateway_id,
+                    NEVER_CONNECTED,
+                    0,
+                    f"{state.batches} batch(es) but no MSG_CONNECT ever sent",
+                )
+
+    def summary(self) -> dict:
+        """Counts for reports: sessions audited, rows folded, violations."""
+        return {
+            "trace": self.trace,
+            "sessions": len(self.sessions),
+            "rows": self.rows,
+            "violations": len(self.violations),
+        }
+
+
+def validate_session_order(
+    faults: Iterable, trace: str = ""
+) -> SessionAudit:
+    """Audit one trace's fault rows (already in time order)."""
+    audit = SessionAudit(trace=trace)
+    for fault in faults:
+        audit.add(fault)
+    audit.finish()
+    return audit
+
+
+def validate_trace_paths(
+    trace_paths: Iterable[str],
+) -> tuple[list[OrderlinessViolation], dict]:
+    """Audit every per-shard trace; returns (violations, rollup summary).
+
+    Paths are sorted so the merged report is deterministic regardless of
+    discovery order — same contract as
+    :func:`repro.cluster.slo.cluster_slo_from_traces`.
+    """
+    from repro.perf.database import TraceDatabase
+
+    violations: list[OrderlinessViolation] = []
+    totals = {"traces": 0, "sessions": 0, "rows": 0, "violations": 0}
+    for path in sorted(trace_paths):
+        with TraceDatabase(path, readonly=True) as db:
+            audit = validate_session_order(db.fault_events(), trace=path)
+        totals["traces"] += 1
+        totals["sessions"] += len(audit.sessions)
+        totals["rows"] += audit.rows
+        totals["violations"] += len(audit.violations)
+        violations.extend(audit.violations)
+    return violations, totals
+
+
+def render_orderliness(violations: list[OrderlinessViolation], totals: dict) -> str:
+    """Terminal rendering for the analyzer's cluster mode."""
+    lines = ["-- session orderliness (Guardian-style) " + "-" * 38]
+    lines.append(
+        f"{totals['traces']} trace(s), {totals['sessions']} gateway session(s), "
+        f"{totals['rows']} lifecycle row(s) audited"
+    )
+    if not violations:
+        lines.append("no session-protocol violations")
+        return "\n".join(lines)
+    for violation in violations:
+        lines.append(f"VIOLATION {violation.describe()}")
+    return "\n".join(lines)

@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.cluster.router import OP_GET, RoutedRequest
+from repro.cluster.router import OP_GET, ROLE_CLIENT, ROLE_HANDOFF, RoutedRequest
 from repro.cluster.spec import ClusterSpec
 from repro.crypto.hmac import hkdf_like
 from repro.crypto.stream import stream_xor
@@ -52,6 +52,12 @@ GATEWAY_ID_BASE = 900_000
 OUTCOME_OK = "ok"
 OUTCOME_RETRY = "retry"  # transient (reset/timeout/shed/ordering miss)
 OUTCOME_BAD = "bad"  # wrong payload — retrying cannot fix it
+
+# Gateway session lifecycle rows (fold input for the session-orderliness
+# validator in :mod:`repro.cluster.orderly`; written only when traced).
+SESSION_CONNECT = "session:connect"
+SESSION_BATCH = "session:batch"
+SESSION_CLOSE = "session:close"
 
 
 class _Shed(Exception):
@@ -84,13 +90,24 @@ class PendingRequest:
 
 @dataclass
 class MuxStats:
-    """What the gateway itself observed (beyond ServingStats)."""
+    """What the gateway itself observed (beyond ServingStats).
+
+    Replica writes and hinted handoffs are gateway-internal traffic:
+    they consume shard capacity but are never client requests, so their
+    outcomes are tallied here instead of in :class:`ServingStats` (which
+    owns the availability denominator).
+    """
 
     batches: int = 0
     batched_requests: int = 0
     reconnects: int = 0
     admission_shed: int = 0
     max_backlog: int = 0
+    replica_ok: int = 0
+    replica_failed: int = 0
+    replica_shed: int = 0
+    handoff_ok: int = 0
+    handoff_failed: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -99,6 +116,11 @@ class MuxStats:
             "reconnects": self.reconnects,
             "admission_shed": self.admission_shed,
             "max_backlog": self.max_backlog,
+            "replica_ok": self.replica_ok,
+            "replica_failed": self.replica_failed,
+            "replica_shed": self.replica_shed,
+            "handoff_ok": self.handoff_ok,
+            "handoff_failed": self.handoff_failed,
         }
 
 
@@ -119,12 +141,15 @@ class SecureKeeperClusterBackend:
         listener: Listener,
         master_key: bytes,
         stats: MuxStats,
+        serving=None,
     ) -> None:
         self.spec = spec
         self.listener = listener
         self.stats = stats
+        self.serving = serving
         self._socks: dict[int, Optional[object]] = {}
         self._registered: set[int] = set()
+        self._session_closed: set[int] = set()
         self._keys = {
             conn: hkdf_like(
                 master_key, b"client" + (GATEWAY_ID_BASE + conn).to_bytes(4, "big")
@@ -133,6 +158,11 @@ class SecureKeeperClusterBackend:
         }
 
     # -- connection management ----------------------------------------------
+
+    def _session_row(self, kind: str, conn: int, detail: str) -> None:
+        if self.serving is not None:
+            gateway_id = GATEWAY_ID_BASE + conn
+            self.serving.record_event(kind, f"gateway {gateway_id}: {detail}")
 
     def _ensure(self, conn: int):
         sock = self._socks.get(conn)
@@ -155,6 +185,7 @@ class SecureKeeperClusterBackend:
             if not reply.startswith(b"\x01OK"):
                 raise ConnectionError(f"gateway connect failed: {reply!r}")
             self._registered.add(gateway_id)
+            self._session_row(SESSION_CONNECT, conn, "enclave session registered")
         return sock
 
     def _drop(self, conn: int) -> None:
@@ -165,9 +196,12 @@ class SecureKeeperClusterBackend:
 
     def close_all(self) -> None:
         """Close every upstream connection (node handlers see EOF)."""
-        for sock in self._socks.values():
+        for conn, sock in self._socks.items():
             if sock is not None and not sock.closed:
                 sock.close()
+            if conn not in self._session_closed:
+                self._session_closed.add(conn)
+                self._session_row(SESSION_CLOSE, conn, "gateway session closed")
 
     # -- request execution ---------------------------------------------------
 
@@ -250,6 +284,7 @@ class SecureKeeperClusterBackend:
                 segment = segment[sock.send(segment) :]
             self.stats.batches += 1
             self.stats.batched_requests += len(items)
+            self._session_row(SESSION_BATCH, conn, f"{len(items)} request(s) sent")
             # Drain every batch reply BEFORE settling: settling a create
             # collision issues a verify get on the same connection, and an
             # early send would interleave with the remaining batch replies
@@ -365,10 +400,17 @@ class ClusterMux:
                 # Nobody wakes this key: a pure virtual sleep to the arrival.
                 sim.futex_wait(("cluster:mux-clock", self.node), timeout_ns=delta)
             if self._backlog >= self.spec.admission_limit:
-                self.stats.admission_shed += 1
-                self.serving.record_shed(
-                    f"node {self.node} backlog {self._backlog} at admission"
-                )
+                if routed.role == ROLE_CLIENT:
+                    self.stats.admission_shed += 1
+                    self.serving.record_shed(
+                        f"node {self.node} backlog {self._backlog} at admission"
+                    )
+                else:
+                    # Replica/handoff traffic yields to client traffic under
+                    # overload — shedding a copy trades durability margin
+                    # for client capacity, tallied here so SLO reports show
+                    # when replication ran degraded.
+                    self.stats.replica_shed += 1
                 continue
             conn = routed.client_id % self.spec.mux_connections
             self._queues[conn].append(PendingRequest(routed))
@@ -403,6 +445,27 @@ class ClusterMux:
             retried: list[PendingRequest] = []
             for item, outcome in zip(items, outcomes):
                 routed = item.routed
+                if routed.role != ROLE_CLIENT:
+                    # Gateway-internal traffic (replica writes, hinted
+                    # handoffs): same retry machinery, separate books —
+                    # only client requests may move the availability
+                    # numerator/denominator.
+                    if outcome == OUTCOME_OK:
+                        if routed.role == ROLE_HANDOFF:
+                            self.stats.handoff_ok += 1
+                        else:
+                            self.stats.replica_ok += 1
+                        continue
+                    if outcome != OUTCOME_BAD:
+                        item.attempts += 1
+                        if item.attempts < self.retry.max_attempts:
+                            retried.append(item)
+                            continue
+                    if routed.role == ROLE_HANDOFF:
+                        self.stats.handoff_failed += 1
+                    else:
+                        self.stats.replica_failed += 1
+                    continue
                 if outcome == OUTCOME_OK:
                     self.serving.record_success(sim.now_ns - routed.arrival_ns)
                     continue

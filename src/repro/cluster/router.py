@@ -1,11 +1,19 @@
 """Request routing for the sharded serving cluster.
 
 The router is the cluster's brain: it maps every scheduled arrival to a
-node under one of two policies and handles failover around node-loss
-windows.  Like the load generator it is a *pure function* of the spec and
-the schedule — the routing table is computed once, identically, by the
-parent process (for the manifest) and by every shard worker (to select its
-own slice), so no cross-process coordination is ever needed.
+node under one of two policies, replicates writes across the ring, and
+fails reads over around *suspected* nodes.  Like the load generator it is
+a *pure function* of the spec and the schedule — the routing table is
+computed once, identically, by the parent process (for the manifest) and
+by every shard worker (to select its own slice), so no cross-process
+coordination is ever needed and manifests stay byte-identical at any
+``--jobs``.
+
+Liveness comes from the :mod:`repro.cluster.detector` heartbeat timeline,
+**never** from the spec's chaos schedule: the router only knows what the
+gateway's failure detector observed (including its detection lag and any
+gray-failure suspicions), exactly like a real deployment.  PR 7's
+spec-oracle down-sets are gone.
 
 Policies:
 
@@ -17,14 +25,25 @@ Policies:
 * **least-loaded** — sticky least-loaded assignment: a client is pinned,
   at its first arrival, to the live node with the fewest requests routed
   so far (ties break by index), and re-pinned the same way if its node is
-  down when a request arrives.
+  suspected when a request arrives.
+
+Replication (factor R from the spec): every client-visible ``create`` is
+accompanied by R-1 **replica writes** to the next distinct nodes in the
+client's preference list, issued at the same arrival time with
+``role="replica"`` (they cost shard capacity but are not client requests,
+so availability counts stay honest).  A preference-list node that is
+suspected at write time instead receives a **hinted handoff** fill,
+scheduled at the detector's recovery point for that node — when the node
+comes back, the gateway replays the writes it missed.  Reads route to the
+first *live* node in preference order that actually holds the entry, so
+an acknowledged write survives any single-node loss at R=2.
 
 State follows routing: the SecureKeeper variant stores encrypted znodes
-*in* each shard, so a ``get`` whose ``create`` landed on a different node
-(the client failed over in between) cannot hit.  The router rewrites such
-reads into **fill** writes — the gateway re-creates the entry on the new
-node, modelling failover onto a cold replica — so correctness is preserved
-and the cost of failover shows up honestly in the latency distribution.
+*in* each shard, so a ``get`` whose entry lives on no live node cannot
+hit.  The router rewrites such reads into **fill** writes (read repair:
+the gateway re-creates the entry on a live node) — and when the original
+``create`` had been acknowledged, counts an **acknowledged write lost**,
+the number the replication machinery exists to hold at zero.
 """
 
 from __future__ import annotations
@@ -33,6 +52,7 @@ import bisect
 import hashlib
 from dataclasses import dataclass, field
 
+from repro.cluster.detector import DetectorTimeline, build_detector
 from repro.cluster.loadgen import Arrival
 from repro.cluster.spec import ClusterSpec
 
@@ -47,6 +67,29 @@ OP_GET = "get"  # read an entry this shard holds
 OP_FILL = "fill"  # failover fill: re-create on a cold shard
 OP_FETCH = "fetch"  # stateless request (TaLoS GET)
 
+# Who a routed request serves.
+ROLE_CLIENT = "client"  # client-visible op; counts toward availability
+ROLE_REPLICA = "replica"  # replica write issued alongside a create
+ROLE_HANDOFF = "handoff"  # hinted handoff replayed at recovery
+
+# Fault-row kind for arrivals shed because every node was suspected.
+CLUSTER_ALL_DOWN = "cluster:all-down"
+
+# Minimum spacing between hinted-handoff fills replayed at one recovery
+# point.  The effective stagger is at least one heartbeat interval: the
+# recovering shard is also re-absorbing its regular client share, so the
+# replay must be a background trickle — replaying a big hint backlog as a
+# 25 µs burst collapses the shard's queue right when it is most fragile.
+HANDOFF_STAGGER_NS = 25_000
+
+
+class ClusterUnavailable(ValueError):
+    """Every node is suspected down; there is nowhere to route.
+
+    Subclasses :class:`ValueError` for compatibility with callers that
+    caught the untyped error this replaces.
+    """
+
 
 def _point(token: str) -> int:
     """Stable 64-bit hash-ring coordinate for ``token``."""
@@ -55,7 +98,7 @@ def _point(token: str) -> int:
 
 @dataclass(frozen=True)
 class RoutedRequest:
-    """One arrival with its routing decision applied."""
+    """One unit of shard work with its routing decision applied."""
 
     arrival_ns: int
     client_id: int
@@ -64,6 +107,7 @@ class RoutedRequest:
     op: str
     path_index: int
     failover: bool = False
+    role: str = ROLE_CLIENT
 
 
 @dataclass
@@ -71,9 +115,32 @@ class RoutingInfo:
     """What the router did, for reports and the cluster manifest."""
 
     policy: str
-    assigned: list[int] = field(default_factory=list)  # requests per node
+    assigned: list[int] = field(default_factory=list)  # client requests per node
     failovers: int = 0  # requests routed off their client's primary node
-    fills: int = 0  # reads rewritten into failover fills
+    fills: int = 0  # reads rewritten into fills (read repair)
+    replica_writes: int = 0  # replica copies issued alongside creates
+    handoffs: int = 0  # hinted-handoff fills replayed at recovery
+    suspected_routes: int = 0  # requests steered around a suspected node
+    lost_writes: int = 0  # acknowledged writes no live node held at read time
+    all_down_shed: int = 0  # arrivals shed because every node was suspected
+    all_down_window: tuple[int, int] | None = None  # first/last shed times
+
+    def as_dict(self) -> dict:
+        """Manifest-ready form (stable under json.dumps sort_keys)."""
+        return {
+            "policy": self.policy,
+            "assigned": list(self.assigned),
+            "failovers": self.failovers,
+            "fills": self.fills,
+            "replica_writes": self.replica_writes,
+            "handoffs": self.handoffs,
+            "suspected_routes": self.suspected_routes,
+            "lost_writes": self.lost_writes,
+            "all_down_shed": self.all_down_shed,
+            "all_down_window": list(self.all_down_window)
+            if self.all_down_window
+            else None,
+        }
 
 
 class ConsistentHashRing:
@@ -87,38 +154,69 @@ class ConsistentHashRing:
         points.sort()
         self._keys = [key for key, _ in points]
         self._nodes = [node for _, node in points]
+        self._node_count = nodes
+
+    def preference_list(self, client_id: int, count: int) -> tuple[int, ...]:
+        """First ``count`` *distinct* nodes at or after the client's point.
+
+        Pure ring identity — liveness never changes a preference list, so
+        replica placement is stable across failures (the property hinted
+        handoff relies on: the recovered node knows exactly which entries
+        were its to hold).
+        """
+        count = min(count, self._node_count)
+        start = bisect.bisect_left(self._keys, _point(f"client-{client_id}"))
+        prefs: list[int] = []
+        total = len(self._nodes)
+        for offset in range(total):
+            node = self._nodes[(start + offset) % total]
+            if node not in prefs:
+                prefs.append(node)
+                if len(prefs) == count:
+                    break
+        return tuple(prefs)
 
     def node_for(self, client_id: int, down: frozenset = frozenset()) -> int:
-        """First live node at or after the client's ring point."""
+        """First live node at or after the client's ring point.
+
+        Raises :class:`ClusterUnavailable` when the down-set covers every
+        node — callers shed the request deterministically rather than
+        routing it to a corpse.
+        """
         start = bisect.bisect_left(self._keys, _point(f"client-{client_id}"))
         count = len(self._nodes)
         for offset in range(count):
             node = self._nodes[(start + offset) % count]
             if node not in down:
                 return node
-        raise ValueError("every node is down; nowhere to route")
-
-
-def _down_set(spec: ClusterSpec, now_ns: int) -> frozenset:
-    """Nodes inside a loss window at ``now_ns``."""
-    down = set()
-    for node, (start, end) in spec.down_windows().items():
-        if start <= now_ns < end:
-            down.add(node)
-    return frozenset(down)
+        raise ClusterUnavailable("every node is suspected down; nowhere to route")
 
 
 def route_requests(
-    spec: ClusterSpec, arrivals: list[Arrival]
+    spec: ClusterSpec,
+    arrivals: list[Arrival],
+    detector: DetectorTimeline | None = None,
 ) -> tuple[list[RoutedRequest], RoutingInfo]:
-    """Apply the spec's policy to the schedule; pure and deterministic."""
+    """Apply the spec's policy to the schedule; pure and deterministic.
+
+    ``detector`` defaults to the spec's own heartbeat timeline; passing
+    one in lets callers (and tests) reuse a prebuilt timeline.
+    """
+    if detector is None:
+        detector = build_detector(spec)
     info = RoutingInfo(policy=spec.policy, assigned=[0] * spec.nodes)
     ring = ConsistentHashRing(spec.nodes) if spec.policy == "hash" else None
     load = [0] * spec.nodes
     sticky: dict[int, int] = {}  # least-loaded: client → pinned node
     primary: dict[int, int] = {}  # client → first node it was given
-    created_on: dict[tuple[int, int], int] = {}  # (client, path) → node
+    # (client, path) → [(node, holds_since_ns), ...]: where copies live.
+    holders: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    # (client, path) → whether the create was acknowledged to the client.
+    acked: dict[tuple[int, int], bool] = {}
+    # recovery point → handoffs already replayed there (stagger counter).
+    handoff_seq: dict[tuple[int, int], int] = {}
     stateless = spec.variant == "talos"
+    replication = spec.effective_replication
 
     def pick_least_loaded(down: frozenset) -> int:
         best = None
@@ -128,55 +226,158 @@ def route_requests(
             if best is None or load[node] < load[best]:
                 best = node
         if best is None:
-            raise ValueError("every node is down; nowhere to route")
+            raise ClusterUnavailable(
+                "every node is suspected down; nowhere to route"
+            )
         return best
 
-    routed: list[RoutedRequest] = []
-    for arrival in arrivals:
-        down = _down_set(spec, arrival.arrival_ns)
-        client = arrival.client_id
+    def preference_list(client: int, pinned: int) -> tuple[int, ...]:
         if ring is not None:
-            node = ring.node_for(client, down)
-        else:
-            node = sticky.get(client)
-            if node is None or node in down:
-                node = pick_least_loaded(down)
-                sticky[client] = node
-        primary.setdefault(client, node)
-        failover = node != primary[client]
-        if failover:
-            info.failovers += 1
-        load[node] += 1
-        info.assigned[node] += 1
+            return ring.preference_list(client, replication)
+        # Least-loaded: replicas are the next nodes after the pin, a
+        # stable identity for as long as the pin holds.
+        return tuple((pinned + i) % spec.nodes for i in range(replication))
+
+    seq = 0
+    routed: list[tuple[int, int, RoutedRequest]] = []  # (arrival, seq, req)
+
+    def emit(request: RoutedRequest) -> None:
+        nonlocal seq
+        routed.append((request.arrival_ns, seq, request))
+        seq += 1
+
+    for arrival in arrivals:
+        now = arrival.arrival_ns
+        down = detector.down_set(now)
+        client = arrival.client_id
+
+        try:
+            if ring is not None:
+                coordinator = ring.node_for(client, down)
+            else:
+                node = sticky.get(client)
+                if node is None or node in down:
+                    node = pick_least_loaded(down)
+                    sticky[client] = node
+                coordinator = node
+        except ClusterUnavailable:
+            info.all_down_shed += 1
+            first, last = info.all_down_window or (now, now)
+            info.all_down_window = (min(first, now), max(last, now))
+            continue
+
+        prefs = preference_list(client, coordinator)
+        if prefs and prefs[0] in down:
+            info.suspected_routes += 1
+        # Serve the client op from the first live preference; fall back to
+        # the policy's coordinator when the whole preference list is down.
+        target = next((n for n in prefs if n not in down), coordinator)
+
+        primary.setdefault(client, target)
+        failover = target != primary[client]
 
         if stateless:
             op, path_index = OP_FETCH, arrival.op_index
+            node = target
         elif arrival.op_index % 2 == 0:
             op, path_index = OP_CREATE, arrival.op_index // 2
-            created_on[(client, path_index)] = node
+            node = target
+            key = (client, path_index)
+            holders[key] = [(node, now)]
+            acked[key] = True
+            # Replicate to the rest of the preference list: live nodes get
+            # the copy now, suspected nodes get a hinted handoff replayed
+            # at their detected recovery.
+            for peer in prefs:
+                if peer == node:
+                    continue
+                if peer not in down:
+                    holders[key].append((peer, now))
+                    info.replica_writes += 1
+                    emit(
+                        RoutedRequest(
+                            arrival_ns=now,
+                            client_id=client,
+                            op_index=arrival.op_index,
+                            node=peer,
+                            op=OP_CREATE,
+                            path_index=path_index,
+                            failover=True,
+                            role=ROLE_REPLICA,
+                        )
+                    )
+                else:
+                    recoveries = [
+                        r for r in detector.recovery_points(peer) if r > now
+                    ]
+                    if not recoveries:
+                        continue  # never came back; the hint dies with it
+                    slot = handoff_seq.get((peer, recoveries[0]), 0)
+                    handoff_seq[(peer, recoveries[0])] = slot + 1
+                    stagger = max(HANDOFF_STAGGER_NS, spec.heartbeat_ns)
+                    handoff_ns = recoveries[0] + slot * stagger
+                    holders[key].append((peer, handoff_ns))
+                    info.handoffs += 1
+                    emit(
+                        RoutedRequest(
+                            arrival_ns=handoff_ns,
+                            client_id=client,
+                            op_index=arrival.op_index,
+                            node=peer,
+                            op=OP_FILL,
+                            path_index=path_index,
+                            failover=True,
+                            role=ROLE_HANDOFF,
+                        )
+                    )
         else:
             path_index = arrival.op_index // 2
-            home = created_on.get((client, path_index))
-            if home == node:
-                op = OP_GET
+            key = (client, path_index)
+            copies = holders.get(key, [])
+            # Read from the first live preference that holds the entry by
+            # now; preference order keeps reads on the ring primary except
+            # while it is suspected (then they fail over to a replica).
+            live_holders = [
+                n
+                for n, since in copies
+                if since <= now and not detector.suspected(n, now)
+            ]
+            chosen = next((n for n in prefs if n in live_holders), None)
+            if chosen is None and live_holders:
+                chosen = live_holders[0]
+            if chosen is not None:
+                op, node = OP_GET, chosen
+                if prefs and node != prefs[0]:
+                    failover = True
             else:
-                # The write landed elsewhere (or this shard lost it to a
-                # failover switch): fill the cold shard instead of reading.
-                op = OP_FILL
-                created_on[(client, path_index)] = node
+                # No live copy: read repair — re-create on the serving
+                # node.  If the client had been told its write succeeded,
+                # that acknowledged write is now lost (the metric R>=2
+                # keeps at zero through any single-node kill).
+                op, node = OP_FILL, target
+                holders.setdefault(key, []).append((node, now))
                 info.fills += 1
-        routed.append(
+                if acked.get(key, False) and copies:
+                    info.lost_writes += 1
+        load[node] += 1
+        info.assigned[node] += 1
+        if failover:
+            info.failovers += 1
+        emit(
             RoutedRequest(
-                arrival_ns=arrival.arrival_ns,
+                arrival_ns=now,
                 client_id=client,
                 op_index=arrival.op_index,
                 node=node,
                 op=op,
                 path_index=path_index,
                 failover=failover,
+                role=ROLE_CLIENT,
             )
         )
-    return routed, info
+
+    routed.sort(key=lambda item: (item[0], item[1]))
+    return [request for _, _, request in routed], info
 
 
 def requests_for_node(routed: list[RoutedRequest], node: int) -> list[RoutedRequest]:

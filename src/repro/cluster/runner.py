@@ -25,11 +25,21 @@ import sys
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.cluster.detector import build_detector
 from repro.cluster.loadgen import generate_arrivals
 from repro.cluster.router import RoutingInfo, route_requests
 from repro.cluster.slo import SloSummary, render_slo_table, rollup
 from repro.cluster.spec import ClusterSpec, ClusterSpecError
 from repro.sweep import SweepReport, run_sweep
+
+# Shard-metric keys aggregated into the cluster replication health line.
+_REPLICATION_KEYS = (
+    "replica_ok",
+    "replica_failed",
+    "replica_shed",
+    "handoff_ok",
+    "handoff_failed",
+)
 
 
 @dataclass
@@ -41,11 +51,18 @@ class ClusterReport:
     routing: RoutingInfo
     node_slos: list[SloSummary]
     cluster_slo: SloSummary
+    detector: dict
+    replication: dict
 
     @property
     def availability(self) -> float:
         """Cluster-wide end-to-end success rate."""
         return self.cluster_slo.success_rate
+
+    @property
+    def lost_writes(self) -> int:
+        """Acknowledged writes no live replica held at read time."""
+        return self.routing.lost_writes
 
     @property
     def degraded(self) -> bool:
@@ -66,16 +83,11 @@ class ClusterReport:
             self.sweep.manifest.rstrip("\n"),
             "# cluster " + self.spec.canonical_json(),
             "# routing "
-            + json.dumps(
-                {
-                    "policy": self.routing.policy,
-                    "assigned": self.routing.assigned,
-                    "failovers": self.routing.failovers,
-                    "fills": self.routing.fills,
-                },
-                sort_keys=True,
-                separators=(",", ":"),
-            ),
+            + json.dumps(self.routing.as_dict(), sort_keys=True, separators=(",", ":")),
+            "# detector "
+            + json.dumps(self.detector, sort_keys=True, separators=(",", ":")),
+            "# replication "
+            + json.dumps(self.replication, sort_keys=True, separators=(",", ":")),
             "# slo " + json.dumps(cluster, sort_keys=True, separators=(",", ":")),
         ]
         return "\n".join(lines) + "\n"
@@ -87,11 +99,26 @@ class ClusterReport:
 
     def render(self) -> str:
         """Human-readable cluster report (deterministic)."""
+        det = self.detector
+        rep = self.replication
         lines = [
             f"cluster: {self.spec.describe()}",
             f"routing: policy={self.routing.policy} "
             f"assigned={self.routing.assigned} "
-            f"failovers={self.routing.failovers} fills={self.routing.fills}",
+            f"failovers={self.routing.failovers} fills={self.routing.fills} "
+            f"all-down-shed={self.routing.all_down_shed}",
+            f"detector: {det['probes']} probes every {det['heartbeat_ns']} ns "
+            f"({det['ok']} ok / {det['late']} late / {det['lost']} lost), "
+            f"{det['suspicions']} suspicion(s) — detected {det['detected']}/"
+            f"{det['pulses']} down pulse(s), mean lag {det['mean_lag_ns']} ns, "
+            f"{det['gray_detections']} gray, {det['false_suspicions']} false",
+            f"replication: R={self.spec.effective_replication} "
+            f"writes={self.routing.replica_writes} "
+            f"(ok {rep['replica_ok']} / failed {rep['replica_failed']} / "
+            f"shed {rep['replica_shed']}), "
+            f"handoffs={self.routing.handoffs} "
+            f"(ok {rep['handoff_ok']} / failed {rep['handoff_failed']}), "
+            f"acknowledged writes lost: {self.lost_writes}",
             "",
             render_slo_table(self.node_slos + [self.cluster_slo]),
             "",
@@ -131,14 +158,19 @@ def run_cluster(
         },
         jobs=jobs,
     )
-    # The routing table is a pure function of the spec — recompute it here
-    # for the report rather than shipping it back from the shards.
-    _, routing = route_requests(spec, generate_arrivals(spec))
+    # The routing table and detector timeline are pure functions of the
+    # spec — recompute them here for the report rather than shipping them
+    # back from the shards.
+    detector = build_detector(spec)
+    _, routing = route_requests(spec, generate_arrivals(spec), detector=detector)
     node_slos = []
+    replication = {key: 0 for key in _REPLICATION_KEYS}
     for node, result in enumerate(sweep.results):
         scope = f"{spec.variant}:node{node:02d}"
         if result.status == "ok":
             node_slos.append(SloSummary.from_metrics(scope, result.metrics))
+            for key in _REPLICATION_KEYS:
+                replication[key] += int(result.metrics.get(key, 0))
         else:
             node_slos.append(SloSummary(scope=scope))
     return ClusterReport(
@@ -147,6 +179,8 @@ def run_cluster(
         routing=routing,
         node_slos=node_slos,
         cluster_slo=rollup(node_slos),
+        detector=detector.summary(),
+        replication=replication,
     )
 
 
@@ -171,6 +205,11 @@ def spec_from_args(args: argparse.Namespace) -> ClusterSpec:
         batch_size=args.batch,
         chaos=not args.no_chaos,
         kill_node=args.kill_node,
+        kill_count=args.kill_count,
+        flaps=args.flaps,
+        asym=args.asym,
+        slow_nodes=args.slow_nodes,
+        replication=args.replication,
     )
 
 
@@ -217,6 +256,35 @@ def add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
         help="node lost mid-run under chaos (-1 = last node; needs >= 2 nodes)",
     )
     parser.add_argument(
+        "--kill-count",
+        type=int,
+        default=1,
+        help="correlated kill: lose this many nodes in the same window",
+    )
+    parser.add_argument(
+        "--flaps",
+        type=int,
+        default=0,
+        help="split the kill window into N down pulses (flapping node)",
+    )
+    parser.add_argument(
+        "--asym",
+        action="store_true",
+        help="asymmetric kill: requests reach the node but replies stall",
+    )
+    parser.add_argument(
+        "--slow-nodes",
+        type=int,
+        default=0,
+        help="gray failure: this many nodes drag through their slow window",
+    )
+    parser.add_argument(
+        "--replication",
+        type=int,
+        default=2,
+        help="replication factor R: copies of every write across the ring",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=None,
@@ -236,6 +304,14 @@ def add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=0.99,
         help="availability floor: exit 1 below this success rate (default 0.99)",
+    )
+    parser.add_argument(
+        "--max-lost",
+        type=int,
+        default=None,
+        metavar="N",
+        help="durability gate: exit 1 if more than N acknowledged writes "
+        "were lost (the CI zero-loss gate passes 0)",
     )
 
 
@@ -259,6 +335,13 @@ def run_cluster_command(args: argparse.Namespace) -> int:
             f"with jobs={report.sweep.jobs}"
         )
     if report.degraded:
+        return 1
+    if args.max_lost is not None and report.lost_writes > args.max_lost:
+        print(
+            f"cluster: {report.lost_writes} acknowledged write(s) lost "
+            f"(gate allows {args.max_lost})",
+            file=sys.stderr,
+        )
         return 1
     return 0 if report.availability >= args.slo else 1
 

@@ -53,7 +53,17 @@ class LatencyHistogram:
         self.buckets: dict[int, int] = dict(buckets or {})
 
     def add(self, latency_ns: int) -> None:
-        """Fold one sample in."""
+        """Fold one sample in.
+
+        The :data:`~repro.workloads.serving.NO_SAMPLES_NS` sentinel is a
+        silent no-op — a shard with zero samples must not poison a merge
+        by materialising as a fake 1 ns request.  Any other negative is a
+        caller bug and raises.
+        """
+        if latency_ns == NO_SAMPLES_NS:
+            return
+        if latency_ns < 0:
+            raise ValueError(f"negative latency {latency_ns} ns is not a sample")
         index = bucket_index(latency_ns)
         self.buckets[index] = self.buckets.get(index, 0) + 1
 
@@ -98,8 +108,23 @@ class LatencyHistogram:
 
     @classmethod
     def from_dict(cls, mapping: dict) -> "LatencyHistogram":
-        """Rebuild from :meth:`as_dict` output."""
-        return cls({int(index): int(count) for index, count in mapping.items()})
+        """Rebuild from :meth:`as_dict` output.
+
+        Defensive on the way back in from JSON: bucket indexes must be
+        non-negative and counts positive (zero-count buckets are dropped
+        so a round-trip never changes ``as_dict`` output or quantiles).
+        """
+        buckets: dict[int, int] = {}
+        for index, count in mapping.items():
+            index = int(index)
+            count = int(count)
+            if index < 0:
+                raise ValueError(f"histogram bucket index {index} is negative")
+            if count < 0:
+                raise ValueError(f"histogram bucket count {count} is negative")
+            if count:
+                buckets[index] = count
+        return cls(buckets)
 
 
 @dataclass

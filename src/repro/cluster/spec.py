@@ -59,12 +59,39 @@ class ClusterSpec:
     admission_limit: int = 512
     payload_bytes: int = 128
     client_timeout_ns: int = 20_000_000
-    # Chaos: per-node network chaos plus one node partitioned ("killed")
-    # for the window [kill_start_frac, kill_end_frac) of the horizon.
+    # Replication factor: every write lands on ``replication`` distinct
+    # ring nodes (primary + R-1 replicas), so reads can fail over while the
+    # primary is suspected.  Clamped to the node count.
+    replication: int = 2
+    # Chaos: per-node network chaos plus one or more nodes partitioned
+    # ("killed") for the window [kill_start_frac, kill_end_frac) of the
+    # horizon.  ``kill_count > 1`` kills that many nodes in the *same*
+    # window (a correlated failure — rack loss, AZ outage); ``flaps > 0``
+    # splits the window into that many down pulses separated by equal up
+    # gaps (a flapping node, the failure detector's hardest customer).
     chaos: bool = True
     kill_node: int = -1  # -1: pick the last node (when chaos and nodes > 1)
+    kill_count: int = 1
     kill_start_frac: float = 0.45
     kill_end_frac: float = 0.60
+    flaps: int = 0
+    # Asymmetric kill: requests still reach the killed node(s) but replies
+    # stall — the node looks dead from outside while processing inside.
+    asym: bool = False
+    # Gray failure: the first ``slow_nodes`` nodes serve every socket op
+    # ``slow_extra_ns`` slower inside [slow_start_frac, slow_end_frac).
+    slow_nodes: int = 0
+    slow_start_frac: float = 0.10
+    slow_end_frac: float = 0.35
+    slow_extra_ns: int = 300_000
+    # Heartbeat failure detector: the gateway probes every node each
+    # interval (0 = auto: horizon/200) and suspects a node after
+    # ``suspect_after`` consecutive lost probes (or 2x that many
+    # consecutive *late* probes — gray failures), un-suspecting it after
+    # ``recover_after`` consecutive healthy probes.
+    heartbeat_interval_ns: int = 0
+    suspect_after: int = 3
+    recover_after: int = 2
 
     def __post_init__(self) -> None:
         if self.variant not in VARIANTS:
@@ -79,13 +106,35 @@ class ClusterSpec:
             raise ClusterSpecError(f"need at least one node, got {self.nodes}")
         if self.clients < 1 or self.ops_per_client < 1:
             raise ClusterSpecError("need at least one client and one op per client")
+        if self.replication < 1:
+            raise ClusterSpecError(
+                f"replication factor must be >= 1, got {self.replication}"
+            )
         if self.kill_node >= self.nodes:
             raise ClusterSpecError(
                 f"kill_node {self.kill_node} out of range for {self.nodes} node(s)"
             )
+        if not 1 <= self.kill_count <= self.nodes:
+            raise ClusterSpecError(
+                f"kill_count {self.kill_count} out of range for {self.nodes} node(s)"
+            )
+        if self.flaps < 0:
+            raise ClusterSpecError(f"flaps must be >= 0, got {self.flaps}")
+        if not 0 <= self.slow_nodes <= self.nodes:
+            raise ClusterSpecError(
+                f"slow_nodes {self.slow_nodes} out of range for {self.nodes} node(s)"
+            )
         if not 0.0 <= self.kill_start_frac < self.kill_end_frac <= 1.0:
             raise ClusterSpecError(
                 "kill window fractions must satisfy 0 <= start < end <= 1"
+            )
+        if not 0.0 <= self.slow_start_frac < self.slow_end_frac <= 1.0:
+            raise ClusterSpecError(
+                "slow window fractions must satisfy 0 <= start < end <= 1"
+            )
+        if self.suspect_after < 1 or self.recover_after < 1:
+            raise ClusterSpecError(
+                "detector thresholds suspect_after/recover_after must be >= 1"
             )
 
     # -- derived quantities (all pure) --------------------------------------
@@ -96,11 +145,51 @@ class ClusterSpec:
         return self.clients * self.ops_per_client
 
     @property
+    def write_amplification(self) -> float:
+        """Shard ops per client op, once replica writes are counted.
+
+        Half the SecureKeeper ops are creates and each create fans out to
+        ``R - 1`` replicas, so R=2 turns 1.0 client op into 1.25 shard
+        ops.  TaLoS is stateless — nothing to replicate.
+        """
+        if self.variant == "talos":
+            return 1.0
+        return 1.0 + (self.effective_replication - 1) / 2.0
+
+    @property
+    def provisioned_nodes(self) -> int:
+        """Node count the default rate is provisioned against.
+
+        A self-healing cluster must carry its load on the nodes that
+        survive the failure domain it claims to tolerate — during a kill
+        window the survivors absorb the victims' share, so provisioning
+        for all N nodes means running the survivors past saturation
+        exactly when they are busiest.  Chaos-off clusters (and layouts
+        too small to kill anything) provision for every node.
+        """
+        if not self.killed_nodes:
+            return self.nodes
+        return max(1, self.nodes - len(self.killed_nodes))
+
+    @property
     def arrival_rate_rps(self) -> float:
-        """Effective cluster-wide open-loop arrival rate."""
+        """Effective cluster-wide open-loop arrival rate.
+
+        The per-variant default is a *per-shard* capacity, so the default
+        rate deflates by the replication write amplification and scales
+        with :attr:`provisioned_nodes` (N - kill_count under chaos) — a
+        cluster provisioned for R=2 with one expendable node runs its
+        shards at survivable utilisation, just like real capacity
+        planning does.  An explicit ``rate_rps`` is always respected
+        as-is.
+        """
         if self.rate_rps > 0.0:
             return float(self.rate_rps)
-        return DEFAULT_NODE_RATE_RPS[self.variant] * self.nodes
+        return (
+            DEFAULT_NODE_RATE_RPS[self.variant]
+            * self.provisioned_nodes
+            / self.write_amplification
+        )
 
     @property
     def horizon_ns(self) -> int:
@@ -108,29 +197,108 @@ class ClusterSpec:
         return int(self.total_requests / self.arrival_rate_rps * 1e9)
 
     @property
+    def effective_replication(self) -> int:
+        """Replication factor actually usable on this topology."""
+        return min(self.replication, self.nodes)
+
+    @property
     def killed_node(self) -> Optional[int]:
-        """Index of the node lost mid-run, or ``None`` when none is."""
+        """Index of the first node lost mid-run, or ``None`` when none is."""
+        nodes = self.killed_nodes
+        return nodes[0] if nodes else None
+
+    @property
+    def killed_nodes(self) -> tuple[int, ...]:
+        """Indices of the nodes lost in the kill window (correlated kill).
+
+        ``kill_count`` consecutive nodes starting at ``kill_node`` (or, by
+        default, ending at the last node) go down together.  At least one
+        node always survives: kills only happen with two or more nodes, and
+        validation caps ``kill_count`` at ``nodes`` — the all-nodes case is
+        the :class:`ClusterUnavailable` path the router must survive.
+        """
         if not self.chaos or self.nodes < 2:
-            return None
-        if self.kill_node >= 0:
-            return self.kill_node
-        return self.nodes - 1
+            return ()
+        first = self.kill_node if self.kill_node >= 0 else self.nodes - self.kill_count
+        first = max(0, first)
+        return tuple(
+            sorted((first + i) % self.nodes for i in range(self.kill_count))
+        )
 
     @property
     def kill_window_ns(self) -> Optional[tuple[int, int]]:
-        """Virtual-time window during which the killed node is gone."""
-        if self.killed_node is None:
+        """Virtual-time window during which the killed node(s) are gone."""
+        if not self.killed_nodes:
             return None
         return (
             int(self.horizon_ns * self.kill_start_frac),
             int(self.horizon_ns * self.kill_end_frac),
         )
 
-    def down_windows(self) -> dict[int, tuple[int, int]]:
-        """node index → down window, for the router's failover logic."""
-        if self.killed_node is None:
+    def _pulses(self, window: tuple[int, int]) -> tuple[tuple[int, int], ...]:
+        """Split ``window`` into ``flaps`` down pulses with equal up gaps."""
+        if self.flaps <= 0:
+            return (window,)
+        start, end = window
+        # n pulses + (n-1) equal gaps; a flapping node is down for the
+        # pulses and back up in between, re-triggering detection each time.
+        span = end - start
+        slot = span // (2 * self.flaps - 1)
+        pulses = []
+        for i in range(self.flaps):
+            p_start = start + 2 * i * slot
+            p_end = min(end, p_start + slot)
+            if p_end > p_start:
+                pulses.append((p_start, p_end))
+        return tuple(pulses)
+
+    def down_windows(self) -> dict[int, tuple[tuple[int, int], ...]]:
+        """node index → down windows (ground truth, for chaos injection).
+
+        This is the *chaos schedule*, not routing state: node shards use it
+        to drive partition windows, and tests compare the failure
+        detector's suspicion intervals against it.  The router never reads
+        it — routing runs purely on heartbeat-detected suspicion.
+        """
+        window = self.kill_window_ns
+        if window is None:
             return {}
-        return {self.killed_node: self.kill_window_ns}
+        pulses = self._pulses(window)
+        return {node: pulses for node in self.killed_nodes}
+
+    def slow_nodes_set(self) -> tuple[int, ...]:
+        """Indices of the gray-failure (slow, not dead) nodes."""
+        if not self.chaos or self.slow_nodes <= 0:
+            return ()
+        return tuple(range(min(self.slow_nodes, self.nodes)))
+
+    def slow_window_ns(self) -> Optional[tuple[int, int]]:
+        """Virtual-time window during which slow nodes drag, if any."""
+        if not self.slow_nodes_set():
+            return None
+        return (
+            int(self.horizon_ns * self.slow_start_frac),
+            int(self.horizon_ns * self.slow_end_frac),
+        )
+
+    def slow_windows(self) -> dict[int, tuple[tuple[int, int], ...]]:
+        """node index → gray-failure slow windows (ground truth)."""
+        window = self.slow_window_ns()
+        if window is None:
+            return {}
+        return {node: (window,) for node in self.slow_nodes_set()}
+
+    # Auto heartbeat cap: detection lag must stay absolute, not scale with
+    # the horizon — at a long horizon a 1/200 interval would trap hundreds
+    # of requests on a dead shard before suspicion triggers.
+    HEARTBEAT_CAP_NS = 500_000
+
+    @property
+    def heartbeat_ns(self) -> int:
+        """Effective probe interval (auto: horizon/200, capped at 500 µs)."""
+        if self.heartbeat_interval_ns > 0:
+            return self.heartbeat_interval_ns
+        return max(1, min(self.horizon_ns // 200, self.HEARTBEAT_CAP_NS))
 
     def node_seed(self, node_index: int) -> int:
         """Independent simulation seed for one node's isolated kernel."""
@@ -169,11 +337,22 @@ class ClusterSpec:
             f"{self.clients} clients × {self.ops_per_client} op(s)",
             f"rate {self.arrival_rate_rps:.0f}/s over {self.horizon_ns / 1e6:.1f} ms",
         ]
-        if self.killed_node is not None:
+        if self.killed_nodes:
             start, end = self.kill_window_ns
+            names = ",".join(str(n) for n in self.killed_nodes)
+            flavor = " (asym)" if self.asym else ""
+            flapping = f" × {self.flaps} flaps" if self.flaps else ""
             parts.append(
-                f"node {self.killed_node} down {start / 1e6:.1f}-{end / 1e6:.1f} ms"
+                f"node(s) {names} down {start / 1e6:.1f}-{end / 1e6:.1f} ms"
+                f"{flapping}{flavor}"
             )
+        if self.slow_nodes_set():
+            start, end = self.slow_window_ns()
+            names = ",".join(str(n) for n in self.slow_nodes_set())
+            parts.append(
+                f"node(s) {names} slow {start / 1e6:.1f}-{end / 1e6:.1f} ms"
+            )
+        parts.append(f"R={self.effective_replication}")
         return ", ".join(parts)
 
     def canonical_json(self) -> str:

@@ -34,6 +34,8 @@ INJECT_NET_RESET = "inject:net-reset"
 INJECT_NET_DELAY = "inject:net-delay"
 INJECT_NET_SHORT_WRITE = "inject:net-short-write"
 INJECT_NET_PARTITION = "inject:net-partition"
+INJECT_NET_SLOW = "inject:net-slow"
+INJECT_NET_ASYM = "inject:net-asym-partition"
 
 
 @dataclass(frozen=True)
@@ -218,16 +220,37 @@ class FaultInjector:
             )
             self.sim.compute(stall)
 
+    def _net_slow_surcharge(self, where: str) -> None:
+        """Gray failure: every socket op inside a slow window pays extra."""
+        plan = self.plan.network
+        if plan is None or not plan.slow_windows:
+            return
+        if plan.slowed_at(self.sim.now_ns):
+            self._record(INJECT_NET_SLOW, 0, where, f"+{plan.slow_extra_ns} ns")
+            self.sim.compute(plan.slow_extra_ns)
+
     def on_net_send(self, sock: Any, nbytes: int) -> int:
         """May stall, reset or truncate a send; returns the allowed length.
 
-        Draw order per call is fixed (partition, reset, delay, short write)
-        so seeded campaigns replay identically.
+        Draw order per call is fixed (partition, asymmetric partition, slow
+        surcharge, reset, delay, short write) so seeded campaigns replay
+        identically.  Asymmetric partitions stall only the *reply*
+        direction — sends from server-side endpoints — so requests keep
+        reaching the node while its answers go dark.
         """
         plan = self.plan.network
         if plan is None or not plan.active:
             return nbytes
         self._net_stall_for_partition(sock.name)
+        if plan.asym_partitions and sock.name.endswith(":server"):
+            end = plan.asym_partitioned_until(self.sim.now_ns)
+            if end is not None:
+                stall = end - self.sim.now_ns
+                self._record(
+                    INJECT_NET_ASYM, 0, sock.name, f"reply path down, stalled {stall} ns"
+                )
+                self.sim.compute(stall)
+        self._net_slow_surcharge(sock.name)
         if plan.reset_probability > 0.0 and (
             self._stream("net-reset").random() < plan.reset_probability
         ):
@@ -264,6 +287,7 @@ class FaultInjector:
         if plan is None or not plan.active:
             return
         self._net_stall_for_partition(sock.name)
+        self._net_slow_surcharge(sock.name)
         if plan.reset_probability > 0.0 and (
             self._stream("net-reset").random() < plan.reset_probability
         ):

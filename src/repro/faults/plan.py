@@ -115,6 +115,19 @@ class NetworkChaosPlan:
     stream.  ``partitions`` are half-open virtual-time windows
     ``[start_ns, end_ns)`` during which sends, receives and connects stall
     until the window ends (the link is down, packets queue).
+
+    Two further window families model the failures that *don't* look like
+    clean link loss:
+
+    * ``slow_windows`` — gray failure: the node is alive but every socket
+      operation inside the window pays ``slow_extra_ns`` extra latency
+      (an overloaded NIC, a throttled VM).  Nothing errors; the node is
+      merely slow enough to miss deadlines;
+    * ``asym_partitions`` — asymmetric partition: requests still reach the
+      node (sends from the client side pass) but its *replies* stall until
+      the window ends.  From the outside the node looks dead even though
+      it is processing — the classic one-way-link failure that trips
+      naive failure detectors.
     """
 
     reset_probability: float = 0.0
@@ -122,6 +135,9 @@ class NetworkChaosPlan:
     delay_ns: int = 400_000
     short_write_probability: float = 0.0
     partitions: tuple[tuple[int, int], ...] = ()
+    slow_windows: tuple[tuple[int, int], ...] = ()
+    slow_extra_ns: int = 300_000
+    asym_partitions: tuple[tuple[int, int], ...] = ()
 
     @property
     def active(self) -> bool:
@@ -131,11 +147,27 @@ class NetworkChaosPlan:
             or self.delay_probability > 0.0
             or self.short_write_probability > 0.0
             or bool(self.partitions)
+            or bool(self.slow_windows)
+            or bool(self.asym_partitions)
         )
 
     def partitioned_until(self, now_ns: int) -> Optional[int]:
         """End of the partition window covering ``now_ns``, if any."""
         for start, end in self.partitions:
+            if start <= now_ns < end:
+                return end
+        return None
+
+    def slowed_at(self, now_ns: int) -> bool:
+        """Whether ``now_ns`` falls inside a gray-failure slow window."""
+        for start, end in self.slow_windows:
+            if start <= now_ns < end:
+                return True
+        return False
+
+    def asym_partitioned_until(self, now_ns: int) -> Optional[int]:
+        """End of the asymmetric (reply-loss) window covering ``now_ns``."""
+        for start, end in self.asym_partitions:
             if start <= now_ns < end:
                 return end
         return None

@@ -60,7 +60,31 @@ def _cmd_record(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze_cluster(args: argparse.Namespace) -> int:
+    """Merge a directory of per-shard cluster traces: SLOs + orderliness."""
+    import glob
+    import os
+
+    from repro.cluster.orderly import render_orderliness, validate_trace_paths
+    from repro.cluster.slo import cluster_slo_from_traces, render_trace_slo
+
+    paths = sorted(glob.glob(os.path.join(args.trace, "*.db")))
+    if not paths:
+        print(f"no shard traces (*.db) under {args.trace}", file=sys.stderr)
+        return 2
+    print(
+        f"merging {len(paths)} shard trace(s) under {args.trace}", file=sys.stderr
+    )
+    print(render_trace_slo(cluster_slo_from_traces(paths)))
+    violations, totals = validate_trace_paths(paths)
+    print()
+    print(render_orderliness(violations, totals))
+    return 1 if violations else 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.cluster:
+        return _cmd_analyze_cluster(args)
     definition = None
     if args.edl:
         with open(args.edl) as f:
@@ -282,6 +306,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--streaming",
         action="store_true",
         help="use the streaming analyser even with jobs=1 and default chunks",
+    )
+    p_analyze.add_argument(
+        "--cluster",
+        action="store_true",
+        help="treat TRACE as a directory of per-shard cluster traces: merge "
+        "their SLO rows and audit gateway session orderliness "
+        "(exit 1 on protocol violations)",
     )
     p_analyze.set_defaults(func=_cmd_analyze)
 

@@ -69,15 +69,24 @@ def percentile_ns(ordered: list, pct: float) -> int:
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Bounded retry with exponential virtual-time backoff."""
+    """Bounded retry with exponential, capped virtual-time backoff.
+
+    ``max_backoff_ns`` clamps the exponential curve so a long retry chain
+    keeps probing at a steady cadence instead of sleeping past the end of
+    an outage window.  The default cap sits above every backoff the
+    default ``max_attempts`` can reach (3 ms · 2⁴ = 48 ms), so it only
+    bites for policies tuned toward more attempts.
+    """
 
     max_attempts: int = 6
     backoff_ns: int = 3_000_000
     multiplier: float = 2.0
+    max_backoff_ns: int = 60_000_000
 
     def backoff_for(self, attempt: int) -> int:
         """Backoff to sleep before retry number ``attempt`` (1-based)."""
-        return int(self.backoff_ns * (self.multiplier ** (attempt - 1)))
+        backoff = int(self.backoff_ns * (self.multiplier ** (attempt - 1)))
+        return min(backoff, self.max_backoff_ns)
 
 
 class CircuitBreaker:
@@ -178,6 +187,15 @@ class ServingStats:
         self.attempted += 1
         self.failed += 1
         self._row(SERVE_FAILED, reason)
+
+    def record_event(self, kind: str, detail: str) -> None:
+        """Mirror a protocol-level event into the trace's fault table.
+
+        No availability counter moves — this is for rows that validators
+        (e.g. the cluster's session-orderliness check) fold over, such as
+        the gateway's ``session:*`` lifecycle markers.
+        """
+        self._row(kind, detail)
 
     @property
     def success_rate(self) -> float:

@@ -1,0 +1,137 @@
+"""Heartbeat failure detector: detection, recovery, purity, accuracy."""
+
+from dataclasses import replace
+
+from repro.cluster.detector import (
+    LATE,
+    LOST,
+    OK,
+    P_NOISE_LATE,
+    P_NOISE_LOST,
+    build_detector,
+    probe_outcome,
+)
+from repro.cluster.spec import ClusterSpec
+
+
+def _spec(**overrides):
+    base = dict(nodes=4, clients=400, ops_per_client=2, chaos=True)
+    base.update(overrides)
+    return ClusterSpec(**base)
+
+
+class TestProbeOutcome:
+    def test_down_window_dominates_noise(self):
+        spec = _spec()
+        start, _ = spec.kill_window_ns
+        # Even a perfect draw cannot save a probe into a dead node.
+        assert probe_outcome(spec, spec.killed_node, start, 0.999) == LOST
+
+    def test_slow_window_yields_late(self):
+        spec = _spec(slow_nodes=1)
+        start, _ = spec.slow_window_ns()
+        assert probe_outcome(spec, 0, start, 0.999) == LATE
+
+    def test_noise_thresholds(self):
+        spec = _spec(chaos=False)
+        assert probe_outcome(spec, 0, 1, P_NOISE_LOST / 2) == LOST
+        assert probe_outcome(spec, 0, 1, P_NOISE_LOST + P_NOISE_LATE / 2) == LATE
+        assert probe_outcome(spec, 0, 1, 0.5) == OK
+
+
+class TestDetection:
+    def test_kill_is_detected_with_bounded_lag(self):
+        spec = _spec()
+        timeline = build_detector(spec)
+        killed = spec.killed_node
+        ivs = timeline.suspicion_intervals(killed)
+        assert len(ivs) == 1
+        assert ivs[0].cause == LOST
+        start, end = spec.kill_window_ns
+        # Detection needs suspect_after consecutive losses, never sooner,
+        # and must land within a couple of probes of the threshold.
+        assert ivs[0].start_ns >= start + (spec.suspect_after - 1) * spec.heartbeat_ns
+        assert ivs[0].start_ns <= start + (spec.suspect_after + 2) * spec.heartbeat_ns
+        # Recovery shortly after the window lifts.
+        assert end < ivs[0].end_ns <= end + 8 * spec.heartbeat_ns
+
+    def test_down_set_tracks_the_window(self):
+        spec = _spec()
+        timeline = build_detector(spec)
+        killed = spec.killed_node
+        start, end = spec.kill_window_ns
+        mid = (start + end) // 2
+        assert killed in timeline.down_set(mid)
+        assert killed not in timeline.down_set(start)  # before detection
+        assert timeline.down_set(0) == frozenset()
+
+    def test_flapping_produces_multiple_suspicions(self):
+        spec = _spec(flaps=3, ops_per_client=4)
+        timeline = build_detector(spec)
+        ivs = timeline.suspicion_intervals(spec.killed_node)
+        # One suspicion per detected pulse (short pulses may escape, but
+        # this schedule keeps each pulse longer than the threshold).
+        assert len(ivs) == 3
+        acc = timeline.accuracy()
+        assert acc["pulses"] == 3
+        assert acc["detected"] == 3
+
+    def test_correlated_kill_suspects_every_victim(self):
+        spec = _spec(kill_count=2)
+        timeline = build_detector(spec)
+        for node in spec.killed_nodes:
+            assert timeline.suspicion_intervals(node)
+        start, end = spec.kill_window_ns
+        mid = (start + end) // 2
+        assert timeline.down_set(mid) == frozenset(spec.killed_nodes)
+
+    def test_gray_failure_detected_from_lates(self):
+        spec = _spec(slow_nodes=1)
+        timeline = build_detector(spec)
+        ivs = timeline.suspicion_intervals(0)
+        assert ivs and ivs[0].cause == LATE
+        slow_start, _ = spec.slow_window_ns()
+        # Gray failures get more rope: 2x the lost threshold.
+        assert ivs[0].start_ns >= (
+            slow_start + (2 * spec.suspect_after - 1) * spec.heartbeat_ns
+        )
+        assert timeline.accuracy()["gray_detections"] >= 1
+
+    def test_recovery_points_feed_handoff(self):
+        spec = _spec()
+        timeline = build_detector(spec)
+        points = timeline.recovery_points(spec.killed_node)
+        assert len(points) == 1
+        _, end = spec.kill_window_ns
+        assert points[0] > end
+        # A node that never recovers inside the schedule has no point.
+        assert timeline.recovery_points(0) == ()
+
+    def test_no_false_suspicions_at_default_noise(self):
+        spec = _spec(clients=2_000)
+        timeline = build_detector(spec)
+        acc = timeline.accuracy()
+        assert acc["false_suspicions"] == 0
+        # The noise streams do fire — single drops exercise streak resets.
+        assert timeline.counts["probes"] > 0
+        summary = timeline.summary()
+        assert summary["probes"] == (
+            summary["ok"] + summary["late"] + summary["lost"]
+        )
+
+    def test_chaos_off_means_no_suspicions(self):
+        spec = _spec(chaos=False)
+        timeline = build_detector(spec)
+        assert timeline.intervals == ()
+        assert timeline.down_set(spec.horizon_ns // 2) == frozenset()
+
+    def test_build_is_pure_and_deterministic(self):
+        spec = _spec(kill_count=2, slow_nodes=1, flaps=2, ops_per_client=4)
+        first = build_detector(spec)
+        second = build_detector(spec)
+        assert first.intervals == second.intervals
+        assert first.counts == second.counts
+        assert first.summary() == second.summary()
+        # A different seed moves the noise but never the truth windows.
+        other = build_detector(replace(spec, seed=spec.seed + 1))
+        assert other.accuracy()["detected"] == first.accuracy()["detected"]

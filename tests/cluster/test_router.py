@@ -1,13 +1,18 @@
-"""Router policies: ring stability, failover, and state-follows-routing."""
+"""Router policies: ring stability, failover, replication, detection."""
 
 import pytest
 
+from repro.cluster.detector import build_detector
 from repro.cluster.loadgen import generate_arrivals
 from repro.cluster.router import (
     OP_CREATE,
     OP_FETCH,
     OP_FILL,
     OP_GET,
+    ROLE_CLIENT,
+    ROLE_HANDOFF,
+    ROLE_REPLICA,
+    ClusterUnavailable,
     ConsistentHashRing,
     requests_for_node,
     route_requests,
@@ -19,6 +24,10 @@ def _spec(**overrides):
     base = dict(nodes=4, clients=200, ops_per_client=2, chaos=False)
     base.update(overrides)
     return ClusterSpec(**base)
+
+
+def _clients_only(routed):
+    return [r for r in routed if r.role == ROLE_CLIENT]
 
 
 class TestConsistentHashRing:
@@ -51,10 +60,27 @@ class TestConsistentHashRing:
             else:
                 assert after[client] != 2
 
-    def test_all_down_raises(self):
+    def test_all_down_raises_typed_error(self):
         ring = ConsistentHashRing(2)
+        with pytest.raises(ClusterUnavailable):
+            ring.node_for(0, down=frozenset({0, 1}))
+        # Still a ValueError for callers of the pre-typed interface.
         with pytest.raises(ValueError):
             ring.node_for(0, down=frozenset({0, 1}))
+
+    def test_preference_list_is_stable_and_distinct(self):
+        ring = ConsistentHashRing(4)
+        for client in range(200):
+            prefs = ring.preference_list(client, 3)
+            assert len(prefs) == 3
+            assert len(set(prefs)) == 3
+            assert prefs[0] == ring.node_for(client)
+            # Liveness never changes identity: same list on every call.
+            assert prefs == ring.preference_list(client, 3)
+
+    def test_preference_list_clamps_to_node_count(self):
+        ring = ConsistentHashRing(2)
+        assert len(ring.preference_list(7, 5)) == 2
 
 
 class TestRouting:
@@ -62,10 +88,25 @@ class TestRouting:
         spec = _spec()
         arrivals = generate_arrivals(spec)
         routed, info = route_requests(spec, arrivals)
-        assert len(routed) == len(arrivals)
+        clients = _clients_only(routed)
+        assert len(clients) == len(arrivals)
         assert sum(info.assigned) == len(arrivals)
+        # Replica copies ride alongside: one per create at R=2.
+        replicas = [r for r in routed if r.role == ROLE_REPLICA]
+        assert len(replicas) == info.replica_writes
+        assert info.replica_writes == sum(
+            1 for r in clients if r.op == OP_CREATE
+        )
         shards = [requests_for_node(routed, node) for node in range(spec.nodes)]
         assert sum(len(shard) for shard in shards) == len(routed)
+
+    def test_requests_sorted_by_arrival(self):
+        spec = _spec(chaos=True)
+        routed, _ = route_requests(spec, generate_arrivals(spec))
+        assert all(
+            routed[i].arrival_ns <= routed[i + 1].arrival_ns
+            for i in range(len(routed) - 1)
+        )
 
     def test_no_chaos_means_no_failovers(self):
         spec = _spec()
@@ -73,19 +114,68 @@ class TestRouting:
         assert info.failovers == 0
         assert info.fills == 0
 
-    def test_kill_window_forces_failover_and_fills(self):
+    def test_kill_window_forces_failover_after_detection(self):
         spec = _spec(chaos=True, ops_per_client=4, kill_start_frac=0.2,
                      kill_end_frac=0.8)
         routed, info = route_requests(spec, generate_arrivals(spec))
         killed = spec.killed_node
-        start, end = spec.kill_window_ns
-        in_window = [r for r in routed if start <= r.arrival_ns < end]
-        assert in_window, "kill window must overlap the schedule"
-        assert all(r.node != killed for r in in_window)
+        detector = build_detector(spec)
+        ivs = detector.suspicion_intervals(killed)
+        assert ivs, "the kill must be detected"
+        suspected_from, suspected_to = ivs[0].start_ns, ivs[0].end_ns
+        start, _ = spec.kill_window_ns
+        # Detection is not an oracle: suspicion starts after the kill.
+        assert suspected_from > start
+        # Once suspected, no client request targets the killed node.
+        while_suspected = [
+            r
+            for r in _clients_only(routed)
+            if suspected_from <= r.arrival_ns < suspected_to
+        ]
+        assert while_suspected, "suspicion window must overlap the schedule"
+        assert all(r.node != killed for r in while_suspected)
         assert info.failovers > 0
-        # Some get whose create landed on the killed node becomes a fill.
+        # R=2 masks the loss completely: reads fail over to replicas
+        # instead of being rewritten into fills, and nothing acked is lost.
+        assert info.fills == 0
+        assert info.lost_writes == 0
+        # Writes coordinated while the victim was suspected hand off to it
+        # at the detected recovery point.
+        assert info.handoffs > 0
+        handoffs = [r for r in routed if r.role == ROLE_HANDOFF]
+        assert len(handoffs) == info.handoffs
+        recovery = detector.recovery_points(killed)[0]
+        assert all(r.node == killed for r in handoffs)
+        assert all(r.op == OP_FILL for r in handoffs)
+        assert all(r.arrival_ns >= recovery for r in handoffs)
+
+    def test_unreplicated_cluster_loses_acked_writes(self):
+        spec = _spec(chaos=True, ops_per_client=4, replication=1,
+                     kill_start_frac=0.2, kill_end_frac=0.8)
+        _, info = route_requests(spec, generate_arrivals(spec))
+        # R=1 is the PR 7 story: reads whose only copy sits on the dead
+        # node are rewritten into fills and the acked write is gone.
         assert info.fills > 0
-        assert any(r.op == OP_FILL for r in routed)
+        assert info.lost_writes > 0
+        assert info.replica_writes == 0
+
+    def test_all_down_sheds_deterministically(self):
+        # Every node killed in one correlated window: arrivals inside the
+        # detected outage shed with a typed counter, not an exception.
+        spec = _spec(chaos=True, nodes=2, kill_count=2, kill_start_frac=0.2,
+                     kill_end_frac=0.8)
+        routed, info = route_requests(spec, generate_arrivals(spec))
+        assert info.all_down_shed > 0
+        first, last = info.all_down_window
+        start, end = spec.kill_window_ns
+        assert start <= first <= last < end + spec.heartbeat_ns * 8
+        # Shed arrivals appear nowhere in the routing table.
+        total = len(_clients_only(routed)) + info.all_down_shed
+        assert total == spec.total_requests
+        # Determinism: same spec, same sheds.
+        _, again = route_requests(spec, generate_arrivals(spec))
+        assert again.all_down_shed == info.all_down_shed
+        assert again.all_down_window == info.all_down_window
 
     def test_get_targets_the_creating_node(self):
         spec = _spec(ops_per_client=4)
@@ -102,7 +192,7 @@ class TestRouting:
         spec = _spec(policy="least-loaded")
         routed, info = route_requests(spec, generate_arrivals(spec))
         pinned = {}
-        for request in routed:
+        for request in _clients_only(routed):
             node = pinned.setdefault(request.client_id, request.node)
             assert request.node == node  # no chaos: the pin never moves
         # Near-perfect balance: within 5% of fair share across nodes.

@@ -2,6 +2,8 @@
 
 import random
 
+import pytest
+
 from repro.cluster.slo import (
     GROWTH,
     LatencyHistogram,
@@ -85,6 +87,41 @@ class TestLatencyHistogram:
         assert hist.percentile_ns(0) == bucket_value_ns(bucket_index(1_000))
         assert hist.percentile_ns(100) == bucket_value_ns(bucket_index(1_000_000))
 
+    def test_sentinel_add_is_a_silent_noop(self):
+        hist = LatencyHistogram()
+        hist.add(NO_SAMPLES_NS)
+        assert hist.buckets == {}
+        assert hist.percentile_ns(99) == NO_SAMPLES_NS
+        # A no-samples shard must not materialise as a fake 1 ns request.
+        hist.add(1_000)
+        hist.add(NO_SAMPLES_NS)
+        assert hist.total == 1
+
+    def test_other_negative_latency_raises(self):
+        hist = LatencyHistogram()
+        with pytest.raises(ValueError):
+            hist.add(-7)
+
+    def test_merging_empty_histograms_is_identity(self):
+        empty = LatencyHistogram()
+        assert empty.merge(LatencyHistogram()).buckets == {}
+        loaded = LatencyHistogram()
+        loaded.add(5_000)
+        before = dict(loaded.buckets)
+        loaded.merge(LatencyHistogram())
+        assert loaded.buckets == before
+        fresh = LatencyHistogram()
+        fresh.merge(loaded)
+        assert fresh.buckets == before
+
+    def test_from_dict_rejects_corrupt_buckets(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram.from_dict({"-1": 3})
+        with pytest.raises(ValueError):
+            LatencyHistogram.from_dict({"4": -2})
+        # Zero counts are dropped so round-trips stay canonical.
+        assert LatencyHistogram.from_dict({"4": 0, "7": 2}).buckets == {7: 2}
+
 
 class TestSloSummary:
     def _summary(self, scope, latencies, **counts):
@@ -98,6 +135,22 @@ class TestSloSummary:
         assert entry["success_rate"] == 1.0
         assert entry["p50_ns"] == NO_SAMPLES_NS
         assert entry["p999_ns"] == NO_SAMPLES_NS
+
+    def test_rollup_of_empty_nodes_keeps_the_sentinel(self):
+        cluster = rollup([SloSummary(scope="n0"), SloSummary(scope="n1")])
+        entry = cluster.as_dict()
+        assert entry["attempted"] == 0
+        assert entry["success_rate"] == 1.0
+        assert entry["p99_ns"] == NO_SAMPLES_NS
+
+    def test_rollup_mixing_empty_and_loaded_nodes(self):
+        loaded = self._summary("n0", [4_000] * 4, attempted=4, succeeded=4)
+        cluster = rollup([SloSummary(scope="dead"), loaded, SloSummary(scope="idle")])
+        entry = cluster.as_dict()
+        # Empty shards contribute nothing — no fake samples, no dilution.
+        assert cluster.histogram.total == 4
+        assert entry["attempted"] == 4
+        assert entry["p50_ns"] != NO_SAMPLES_NS
 
     def test_rollup_sums_counts_and_merges_latencies(self):
         nodes = [

@@ -31,9 +31,38 @@ class TestValidation:
 
 class TestDerived:
     def test_default_rate_scales_with_nodes(self):
-        one = ClusterSpec(nodes=1, chaos=False)
-        four = ClusterSpec(nodes=4)
+        one = ClusterSpec(nodes=1, chaos=False, replication=1)
+        four = ClusterSpec(nodes=4, chaos=False, replication=1)
         assert four.arrival_rate_rps == pytest.approx(4 * one.arrival_rate_rps)
+
+    def test_default_rate_provisions_for_survivors_under_chaos(self):
+        # A cluster that advertises surviving kill_count nodes must carry
+        # its load on the remainder: the default rate scales with N - k.
+        calm = ClusterSpec(nodes=4, chaos=False, replication=1)
+        chaos = ClusterSpec(nodes=4, replication=1)
+        assert chaos.provisioned_nodes == 3
+        assert chaos.arrival_rate_rps == pytest.approx(
+            calm.arrival_rate_rps * 3 / 4
+        )
+        double = ClusterSpec(nodes=4, replication=1, kill_count=2)
+        assert double.provisioned_nodes == 2
+
+    def test_default_rate_deflates_for_write_amplification(self):
+        # R=2 doubles the shard work per create; the default open-loop
+        # rate backs off so provisioned utilisation stays constant.
+        r1 = ClusterSpec(nodes=4, replication=1)
+        r2 = ClusterSpec(nodes=4, replication=2)
+        assert r2.write_amplification == pytest.approx(1.5)
+        assert r2.arrival_rate_rps == pytest.approx(
+            r1.arrival_rate_rps / r2.write_amplification
+        )
+        # An explicit rate is never second-guessed.
+        pinned = ClusterSpec(nodes=4, replication=2, rate_rps=12345.0)
+        assert pinned.arrival_rate_rps == 12345.0
+        # Talos is read-only: no creates, no amplification.
+        assert ClusterSpec(
+            variant="talos", nodes=2, replication=2
+        ).write_amplification == 1.0
 
     def test_no_kill_with_single_node_or_chaos_off(self):
         assert ClusterSpec(nodes=1, chaos=False).killed_node is None
@@ -43,9 +72,53 @@ class TestDerived:
     def test_default_kill_is_last_node(self):
         spec = ClusterSpec(nodes=4)
         assert spec.killed_node == 3
+        assert spec.killed_nodes == (3,)
         start, end = spec.kill_window_ns
         assert 0 < start < end <= spec.horizon_ns
-        assert spec.down_windows() == {3: (start, end)}
+        assert spec.down_windows() == {3: ((start, end),)}
+
+    def test_correlated_kill_takes_consecutive_nodes(self):
+        spec = ClusterSpec(nodes=4, kill_count=2)
+        assert spec.killed_nodes == (2, 3)
+        windows = spec.down_windows()
+        assert set(windows) == {2, 3}
+        # Correlated: every victim shares the same down window.
+        assert windows[2] == windows[3] == (spec.kill_window_ns,)
+
+    def test_flapping_splits_the_window_into_pulses(self):
+        spec = ClusterSpec(nodes=4, flaps=3)
+        pulses = spec.down_windows()[3]
+        assert len(pulses) == 3
+        start, end = spec.kill_window_ns
+        assert pulses[0][0] == start
+        assert pulses[-1][1] <= end
+        # Pulses are ordered, non-overlapping, with gaps between them.
+        for (a0, a1), (b0, b1) in zip(pulses, pulses[1:]):
+            assert a0 < a1 < b0 < b1
+
+    def test_slow_nodes_cover_the_first_indices(self):
+        spec = ClusterSpec(nodes=4, slow_nodes=2)
+        assert tuple(spec.slow_nodes_set()) == (0, 1)
+        windows = spec.slow_windows()
+        assert set(windows) == {0, 1}
+        start, end = spec.slow_window_ns()
+        assert 0 < start < end <= spec.horizon_ns
+
+    def test_heartbeat_defaults_to_capped_horizon_fraction(self):
+        spec = ClusterSpec(nodes=2, clients=400)
+        assert spec.heartbeat_ns == spec.horizon_ns // 200
+        assert ClusterSpec(nodes=2, heartbeat_interval_ns=77).heartbeat_ns == 77
+        # Long horizons cap the interval: detection lag is absolute.
+        big = ClusterSpec(nodes=2, clients=50_000)
+        assert big.horizon_ns // 200 > ClusterSpec.HEARTBEAT_CAP_NS
+        assert big.heartbeat_ns == ClusterSpec.HEARTBEAT_CAP_NS
+
+    def test_replication_clamps_to_node_count(self):
+        assert ClusterSpec(nodes=2, replication=3).effective_replication == 2
+        with pytest.raises(ClusterSpecError):
+            ClusterSpec(nodes=2, replication=0)
+        with pytest.raises(ClusterSpecError):
+            ClusterSpec(nodes=4, kill_count=5)
 
     def test_node_seeds_are_distinct_and_stable(self):
         spec = ClusterSpec(nodes=8)

@@ -25,6 +25,27 @@ class TestRetryPolicy:
         policy = RetryPolicy(backoff_ns=500, multiplier=1.0)
         assert policy.backoff_for(1) == policy.backoff_for(5) == 500
 
+    def test_backoff_is_capped(self):
+        policy = RetryPolicy(
+            max_attempts=10, backoff_ns=1_000, multiplier=2.0, max_backoff_ns=5_000
+        )
+        assert policy.backoff_for(1) == 1_000
+        assert policy.backoff_for(3) == 4_000
+        # 8_000 and beyond clamp: a retry must never sleep past the cap,
+        # or a failover retry would outlive the suspicion window it is
+        # trying to ride out.
+        assert policy.backoff_for(4) == 5_000
+        assert policy.backoff_for(9) == 5_000
+
+    def test_default_cap_does_not_change_default_schedule(self):
+        policy = RetryPolicy()
+        uncapped = [
+            int(policy.backoff_ns * policy.multiplier ** (attempt - 1))
+            for attempt in range(1, policy.max_attempts)
+        ]
+        assert [policy.backoff_for(a) for a in range(1, policy.max_attempts)] == uncapped
+        assert max(uncapped) <= policy.max_backoff_ns
+
 
 class TestCircuitBreaker:
     def test_opens_after_consecutive_failures(self):
@@ -141,6 +162,17 @@ class TestServingStats:
     def test_no_logger_writes_nothing(self):
         stats = ServingStats(Simulation(), "w")
         stats.record_success(1)  # must not raise without a logger
+
+    def test_record_event_writes_row_without_counting(self):
+        log = _FaultLog()
+        stats = ServingStats(Simulation(), "w", logger=log)
+        stats.record_event("session:connect", "gateway 900000: registered")
+        assert log.rows == [("session:connect", "w", "gateway 900000: registered")]
+        # Lifecycle rows are bookkeeping, not requests.
+        assert stats.attempted == 0
+        assert stats.succeeded == 0
+        # And safe without a logger.
+        ServingStats(Simulation(), "w").record_event("session:close", "x")
 
 
 class TestPercentileNs:
