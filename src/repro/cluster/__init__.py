@@ -9,6 +9,12 @@ into cluster-wide p50/p99/p999 + availability SLO reports, byte-identical
 at any worker count.
 """
 
+from repro.cluster.brownout import (
+    BrownoutController,
+    ClusterOverloaded,
+    PressureSignal,
+    priority_class,
+)
 from repro.cluster.loadgen import Arrival, generate_arrivals
 from repro.cluster.router import ConsistentHashRing, route_requests
 from repro.cluster.runner import ClusterReport, run_cluster, run_cluster_command
@@ -17,10 +23,14 @@ from repro.cluster.spec import ClusterSpec, ClusterSpecError
 
 __all__ = [
     "Arrival",
+    "BrownoutController",
+    "ClusterOverloaded",
     "ClusterReport",
     "ClusterSpec",
     "ClusterSpecError",
     "ConsistentHashRing",
+    "PressureSignal",
+    "priority_class",
     "LatencyHistogram",
     "SloSummary",
     "generate_arrivals",

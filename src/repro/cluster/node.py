@@ -23,6 +23,7 @@ import hashlib
 import json
 from dataclasses import replace
 
+from repro.cluster.brownout import BrownoutController, PressureSignal
 from repro.cluster.loadgen import generate_arrivals
 from repro.cluster.proxy import (
     ClusterMux,
@@ -81,6 +82,32 @@ def node_chaos_plan(spec: ClusterSpec, node: int):
     return plan
 
 
+def node_pressure_plan(spec: ClusterSpec, node: int):
+    """The resource-pressure plan one shard arms (§3.5 made injectable).
+
+    Every node gets the same noisy neighbour — in a real deployment the
+    co-tenant lands on each machine of the fleet it is scheduled onto —
+    hammering the shard's EPC for the spec's stressor window.  The salt
+    keeps per-node tenant RNG streams independent of the serving stack's.
+    """
+    from repro.faults import PressurePlan, StressorTenantPlan
+
+    if not spec.stressor:
+        return PressurePlan.disabled()
+    start_ns, end_ns = spec.stressor_window_ns()
+    return PressurePlan(
+        tenants=(
+            StressorTenantPlan(
+                stressor=spec.stressor,
+                intensity=spec.stressor_intensity,
+                start_ns=start_ns,
+                end_ns=end_ns,
+            ),
+        ),
+        stream_salt=f"pressure-node{node}",
+    )
+
+
 def run_clusternode(params: dict, db_path: str = ":memory:") -> tuple[str, dict, dict]:
     """Simulate one node shard; returns ``(digest, metrics, faults)``.
 
@@ -90,7 +117,7 @@ def run_clusternode(params: dict, db_path: str = ":memory:") -> tuple[str, dict,
     untraced default digests the canonical metrics instead (tracing tens
     of thousands of requests is opt-in, not the price of every sweep).
     """
-    from repro.faults import FaultInjector
+    from repro.faults import FaultInjector, PressureInjector
     from repro.faults.campaign import trace_digest
     from repro.perf.logger import AexMode, EventLogger
     from repro.workloads.serving import CircuitBreaker, RetryPolicy, ServingStats
@@ -106,7 +133,12 @@ def run_clusternode(params: dict, db_path: str = ":memory:") -> tuple[str, dict,
     mine = requests_for_node(routed, node)
 
     process = SimProcess(seed=spec.node_seed(node))
-    device = SgxDevice(process.sim)
+    if spec.epc_pages > 0:
+        from repro.sgx.epc import Epc
+
+        device = SgxDevice(process.sim, epc=Epc(spec.epc_pages))
+    else:
+        device = SgxDevice(process.sim)
     sim = process.sim
     plan = node_chaos_plan(spec, node)
     listener = Listener(sim, f"cluster:node{node}")
@@ -147,6 +179,7 @@ def run_clusternode(params: dict, db_path: str = ":memory:") -> tuple[str, dict,
             spec, listener, proxy.trusted.master_key, stats=mux_stats, serving=serving
         )
         process.pthread_create(server.serve_until_closed, name=f"node{node}-acceptor")
+        host_urts = proxy.urts
     else:
         from repro.workloads.talos.app import TalosApp
         from repro.workloads.talos.server import TalosNginx
@@ -167,6 +200,22 @@ def run_clusternode(params: dict, db_path: str = ":memory:") -> tuple[str, dict,
         )
         backend = TalosClusterBackend(spec, listener, sim)
         process.pthread_create(server.serve_until_closed, name=f"node{node}-nginx")
+        host_urts = app.urts
+
+    # Resource pressure: the spec's noisy neighbour shares this shard's
+    # device, and (when enabled) the brownout controller reads the paging
+    # rate straight off the driver's counters.
+    pressure = PressureInjector(
+        node_pressure_plan(spec, node), process, device, logger=logger, urts=host_urts
+    )
+    pressure.arm()
+    brownout = None
+    if spec.brownout:
+        brownout = BrownoutController(
+            PressureSignal(device.driver.stats),
+            congestion_backlog=spec.admission_limit // 4,
+            record=serving.record_event,
+        )
 
     mux = ClusterMux(
         spec,
@@ -178,6 +227,7 @@ def run_clusternode(params: dict, db_path: str = ":memory:") -> tuple[str, dict,
         process=process,
         listener=listener,
         stats=mux_stats,
+        brownout=brownout,
     )
     mux.start()
     sim.run()
@@ -200,9 +250,27 @@ def run_clusternode(params: dict, db_path: str = ":memory:") -> tuple[str, dict,
     )
     metrics["duration_ns"] = sim.now_ns
     metrics.update(mux.stats.as_dict())
+    metrics["page_in"] = device.driver.stats.get("page_in", 0)
+    metrics["page_out"] = device.driver.stats.get("page_out", 0)
+    metrics["epc_capacity"] = device.epc.capacity_pages
+    metrics["epc_high_water"] = device.epc.high_water_pages
+    metrics["tenant_ops"] = pressure.tenant_ops
+    if brownout is not None:
+        metrics.update(brownout.summary())
+    else:
+        metrics.update(
+            {
+                "brownout_transitions": 0,
+                "brownout_deep_transitions": 0,
+                "pressure_peak_pps": 0.0,
+            }
+        )
+    combined = dict(injector.stats)
+    for kind, count in pressure.stats.items():
+        combined[kind] = combined.get(kind, 0) + count
     faults = {
         kind: count
-        for kind, count in sorted(injector.stats.items())
+        for kind, count in sorted(combined.items())
         if kind.startswith("inject:")
     }
 

@@ -30,6 +30,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.cluster.brownout import (
+    LEVEL_NORMAL,
+    PRIORITY_READ,
+    PRIORITY_WRITE,
+    BrownoutController,
+    ClusterOverloaded,
+    priority_class,
+)
 from repro.cluster.router import OP_GET, ROLE_CLIENT, ROLE_HANDOFF, RoutedRequest
 from repro.cluster.spec import ClusterSpec
 from repro.crypto.hmac import hkdf_like
@@ -108,6 +116,17 @@ class MuxStats:
     replica_shed: int = 0
     handoff_ok: int = 0
     handoff_failed: int = 0
+    # Priority-classed books (brownout § — client ops split write/read,
+    # replica + handoff traffic is the background class).
+    write_ok: int = 0
+    write_failed: int = 0
+    read_ok: int = 0
+    read_failed: int = 0
+    shed_write: int = 0
+    shed_read: int = 0
+    shed_background: int = 0
+    # Smallest batch limit the gateway actually ran with (brownout shrink).
+    batch_limit_min: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -121,7 +140,24 @@ class MuxStats:
             "replica_shed": self.replica_shed,
             "handoff_ok": self.handoff_ok,
             "handoff_failed": self.handoff_failed,
+            "write_ok": self.write_ok,
+            "write_failed": self.write_failed,
+            "read_ok": self.read_ok,
+            "read_failed": self.read_failed,
+            "shed_write": self.shed_write,
+            "shed_read": self.shed_read,
+            "shed_background": self.shed_background,
+            "batch_limit_min": self.batch_limit_min,
         }
+
+    def count_shed(self, priority: str) -> None:
+        """Fold one shed (any mechanism) into its priority-class book."""
+        if priority == PRIORITY_WRITE:
+            self.shed_write += 1
+        elif priority == PRIORITY_READ:
+            self.shed_read += 1
+        else:
+            self.shed_background += 1
 
 
 class SecureKeeperClusterBackend:
@@ -359,6 +395,7 @@ class ClusterMux:
         process,
         listener: Listener,
         stats: Optional[MuxStats] = None,
+        brownout: Optional[BrownoutController] = None,
     ) -> None:
         self.spec = spec
         self.node = node
@@ -370,6 +407,7 @@ class ClusterMux:
         self.sim = process.sim
         self.listener = listener
         self.stats = stats if stats is not None else MuxStats()
+        self.brownout = brownout
         self._queues: list[list[PendingRequest]] = [
             [] for _ in range(spec.mux_connections)
         ]
@@ -392,6 +430,36 @@ class ClusterMux:
 
     # -- dispatcher -----------------------------------------------------------
 
+    def _shed(self, routed: RoutedRequest, exc: ClusterOverloaded) -> None:
+        """Book one refusal under every ledger that watches it."""
+        self.stats.count_shed(exc.priority)
+        if self.brownout is not None:
+            self.brownout.note_shed(exc)
+        if routed.role != ROLE_CLIENT:
+            # Replica/handoff traffic yields to client traffic under
+            # overload — shedding a copy trades durability margin for
+            # client capacity, tallied here so SLO reports show when
+            # replication ran degraded.
+            self.stats.replica_shed += 1
+            return
+        # A refused client request is a failed request from the caller's
+        # side: sheds count against the class availability so graceful
+        # degradation cannot hide behind its own refusals.
+        if exc.priority == PRIORITY_WRITE:
+            self.stats.write_failed += 1
+        else:
+            self.stats.read_failed += 1
+        if exc.reason == "admission":
+            self.stats.admission_shed += 1
+            self.serving.record_shed(
+                f"node {self.node} backlog {exc.backlog} at admission"
+            )
+        else:
+            self.serving.record_shed(
+                f"node {self.node} brownout shed {exc.priority} "
+                f"client {routed.client_id}"
+            )
+
     def _dispatch(self) -> None:
         sim = self.sim
         for routed in self.requests:
@@ -399,18 +467,28 @@ class ClusterMux:
             if delta > 0:
                 # Nobody wakes this key: a pure virtual sleep to the arrival.
                 sim.futex_wait(("cluster:mux-clock", self.node), timeout_ns=delta)
-            if self._backlog >= self.spec.admission_limit:
-                if routed.role == ROLE_CLIENT:
-                    self.stats.admission_shed += 1
-                    self.serving.record_shed(
-                        f"node {self.node} backlog {self._backlog} at admission"
+            priority = priority_class(routed.op, routed.role)
+            level = (
+                self.brownout.observe(sim.now_ns)
+                if self.brownout is not None
+                else LEVEL_NORMAL
+            )
+            try:
+                limit = self.spec.admission_limit
+                if self.brownout is not None and priority == PRIORITY_WRITE:
+                    # Writes keep a deeper reserve: the controller sheds
+                    # reads and background first to drain the queue, so
+                    # the cliff only refuses a write once the backlog
+                    # blows past twice the normal bound.
+                    limit *= 2
+                if self._backlog >= limit:
+                    raise ClusterOverloaded(
+                        priority, level, self._backlog, "admission"
                     )
-                else:
-                    # Replica/handoff traffic yields to client traffic under
-                    # overload — shedding a copy trades durability margin
-                    # for client capacity, tallied here so SLO reports show
-                    # when replication ran degraded.
-                    self.stats.replica_shed += 1
+                if self.brownout is not None:
+                    self.brownout.admit(priority, self._backlog)
+            except ClusterOverloaded as exc:
+                self._shed(routed, exc)
                 continue
             conn = routed.client_id % self.spec.mux_connections
             self._queues[conn].append(PendingRequest(routed))
@@ -424,13 +502,23 @@ class ClusterMux:
     # -- workers --------------------------------------------------------------
 
     def _take(self, conn: int) -> list[PendingRequest]:
-        """Up to ``batch_size`` queued items; blocks until work or shutdown."""
+        """Up to ``batch_size`` queued items; blocks until work or shutdown.
+
+        Under brownout the limit shrinks with paging pressure — smaller
+        batches pin fewer pages per upstream exchange and give the
+        paging-bound enclave its capacity back sooner.
+        """
         queue = self._queues[conn]
         while not queue:
             if self._dispatched_all:
                 return []
             self.sim.futex_wait(self._queue_key(conn))
-        items = queue[: self.spec.batch_size]
+        limit = self.spec.batch_size
+        if self.brownout is not None:
+            limit = self.brownout.batch_limit(limit)
+        if self.stats.batch_limit_min == 0 or limit < self.stats.batch_limit_min:
+            self.stats.batch_limit_min = limit
+        items = queue[:limit]
         del queue[: len(items)]
         self._backlog -= len(items)
         return items
@@ -466,14 +554,23 @@ class ClusterMux:
                     else:
                         self.stats.replica_failed += 1
                     continue
+                is_write = priority_class(routed.op, routed.role) == PRIORITY_WRITE
                 if outcome == OUTCOME_OK:
                     self.serving.record_success(sim.now_ns - routed.arrival_ns)
+                    if is_write:
+                        self.stats.write_ok += 1
+                    else:
+                        self.stats.read_ok += 1
                     continue
                 if outcome == OUTCOME_BAD:
                     self.serving.record_failure(
                         f"node {self.node} client {routed.client_id} "
                         f"p{routed.path_index}: payload mismatch"
                     )
+                    if is_write:
+                        self.stats.write_failed += 1
+                    else:
+                        self.stats.read_failed += 1
                     continue
                 item.attempts += 1
                 if item.attempts >= self.retry.max_attempts:
@@ -481,6 +578,10 @@ class ClusterMux:
                         f"node {self.node} client {routed.client_id} "
                         f"{routed.op} p{routed.path_index}: retries exhausted"
                     )
+                    if is_write:
+                        self.stats.write_failed += 1
+                    else:
+                        self.stats.read_failed += 1
                     continue
                 self.serving.record_retry(
                     f"node {self.node} client {routed.client_id} "

@@ -41,6 +41,28 @@ _REPLICATION_KEYS = (
     "handoff_failed",
 )
 
+# Shard-metric keys summed into the cluster brownout/pressure line.
+_BROWNOUT_SUM_KEYS = (
+    "write_ok",
+    "write_failed",
+    "read_ok",
+    "read_failed",
+    "shed_write",
+    "shed_read",
+    "shed_background",
+    "brownout_transitions",
+    "brownout_deep_transitions",
+    "page_in",
+    "page_out",
+    "tenant_ops",
+)
+
+
+def _availability(ok: int, failed: int) -> float:
+    """Per-class availability under the repo-wide convention (no samples = 1)."""
+    attempted = ok + failed
+    return ok / attempted if attempted else 1.0
+
 
 @dataclass
 class ClusterReport:
@@ -53,6 +75,7 @@ class ClusterReport:
     cluster_slo: SloSummary
     detector: dict
     replication: dict
+    brownout: dict
 
     @property
     def availability(self) -> float:
@@ -63,6 +86,18 @@ class ClusterReport:
     def lost_writes(self) -> int:
         """Acknowledged writes no live replica held at read time."""
         return self.routing.lost_writes
+
+    @property
+    def write_availability(self) -> float:
+        """High-priority (client write) availability across the cluster."""
+        return _availability(
+            self.brownout["write_ok"], self.brownout["write_failed"]
+        )
+
+    @property
+    def read_availability(self) -> float:
+        """Client read availability across the cluster."""
+        return _availability(self.brownout["read_ok"], self.brownout["read_failed"])
 
     @property
     def degraded(self) -> bool:
@@ -88,6 +123,8 @@ class ClusterReport:
             + json.dumps(self.detector, sort_keys=True, separators=(",", ":")),
             "# replication "
             + json.dumps(self.replication, sort_keys=True, separators=(",", ":")),
+            "# brownout "
+            + json.dumps(self.brownout, sort_keys=True, separators=(",", ":")),
             "# slo " + json.dumps(cluster, sort_keys=True, separators=(",", ":")),
         ]
         return "\n".join(lines) + "\n"
@@ -101,6 +138,7 @@ class ClusterReport:
         """Human-readable cluster report (deterministic)."""
         det = self.detector
         rep = self.replication
+        bo = self.brownout
         lines = [
             f"cluster: {self.spec.describe()}",
             f"routing: policy={self.routing.policy} "
@@ -119,6 +157,13 @@ class ClusterReport:
             f"handoffs={self.routing.handoffs} "
             f"(ok {rep['handoff_ok']} / failed {rep['handoff_failed']}), "
             f"acknowledged writes lost: {self.lost_writes}",
+            f"pressure: paging {bo['page_in']}+{bo['page_out']} pages "
+            f"(peak {bo['pressure_peak_pps']:.0f}/s), tenant ops {bo['tenant_ops']}, "
+            f"{bo['brownout_transitions']} brownout "
+            f"({bo['brownout_deep_transitions']} deep) — shed "
+            f"bg {bo['shed_background']} / read {bo['shed_read']} / "
+            f"write {bo['shed_write']}; availability "
+            f"write {self.write_availability:.4%} / read {self.read_availability:.4%}",
             "",
             render_slo_table(self.node_slos + [self.cluster_slo]),
             "",
@@ -165,14 +210,28 @@ def run_cluster(
     _, routing = route_requests(spec, generate_arrivals(spec), detector=detector)
     node_slos = []
     replication = {key: 0 for key in _REPLICATION_KEYS}
+    brownout = {key: 0 for key in _BROWNOUT_SUM_KEYS}
+    brownout["pressure_peak_pps"] = 0.0
     for node, result in enumerate(sweep.results):
         scope = f"{spec.variant}:node{node:02d}"
         if result.status == "ok":
             node_slos.append(SloSummary.from_metrics(scope, result.metrics))
             for key in _REPLICATION_KEYS:
                 replication[key] += int(result.metrics.get(key, 0))
+            for key in _BROWNOUT_SUM_KEYS:
+                brownout[key] += int(result.metrics.get(key, 0))
+            brownout["pressure_peak_pps"] = max(
+                brownout["pressure_peak_pps"],
+                float(result.metrics.get("pressure_peak_pps", 0.0)),
+            )
         else:
             node_slos.append(SloSummary(scope=scope))
+    brownout["write_availability"] = _availability(
+        brownout["write_ok"], brownout["write_failed"]
+    )
+    brownout["read_availability"] = _availability(
+        brownout["read_ok"], brownout["read_failed"]
+    )
     return ClusterReport(
         spec=spec,
         sweep=sweep,
@@ -181,6 +240,7 @@ def run_cluster(
         cluster_slo=rollup(node_slos),
         detector=detector.summary(),
         replication=replication,
+        brownout=brownout,
     )
 
 
@@ -210,6 +270,10 @@ def spec_from_args(args: argparse.Namespace) -> ClusterSpec:
         asym=args.asym,
         slow_nodes=args.slow_nodes,
         replication=args.replication,
+        stressor=args.stressor,
+        stressor_intensity=args.stressor_intensity,
+        epc_pages=args.epc_pages,
+        brownout=not args.no_brownout,
     )
 
 
@@ -285,6 +349,37 @@ def add_cluster_arguments(parser: argparse.ArgumentParser) -> None:
         help="replication factor R: copies of every write across the ring",
     )
     parser.add_argument(
+        "--stressor",
+        default="",
+        help="noisy-neighbour stressor profile every node hosts "
+        "(cpu-spin, epc-thrash, ocall-storm, futex-hammer, mixed; '' = none)",
+    )
+    parser.add_argument(
+        "--stressor-intensity",
+        type=float,
+        default=1.0,
+        help="stressor scaling factor (footprint, op mix, threads)",
+    )
+    parser.add_argument(
+        "--epc-pages",
+        type=int,
+        default=0,
+        help="scaled-down per-node EPC in pages (0 = the full hardware pool)",
+    )
+    parser.add_argument(
+        "--no-brownout",
+        action="store_true",
+        help="ablation: disable the gateway brownout controller "
+        "(cliff-edge admission only)",
+    )
+    parser.add_argument(
+        "--write-slo",
+        type=float,
+        default=None,
+        help="high-priority gate: exit 1 if client-write availability "
+        "falls below this floor",
+    )
+    parser.add_argument(
         "--jobs",
         type=int,
         default=None,
@@ -340,6 +435,13 @@ def run_cluster_command(args: argparse.Namespace) -> int:
         print(
             f"cluster: {report.lost_writes} acknowledged write(s) lost "
             f"(gate allows {args.max_lost})",
+            file=sys.stderr,
+        )
+        return 1
+    if args.write_slo is not None and report.write_availability < args.write_slo:
+        print(
+            f"cluster: write availability {report.write_availability:.4%} "
+            f"below the {args.write_slo:.4%} floor",
             file=sys.stderr,
         )
         return 1

@@ -92,6 +92,19 @@ class ClusterSpec:
     heartbeat_interval_ns: int = 0
     suspect_after: int = 3
     recover_after: int = 2
+    # Resource pressure: a Stress-SGX-style noisy neighbour sharing every
+    # node's EPC for [stressor_start_frac, stressor_end_frac) of the
+    # horizon ("" = none), and an optional scaled-down EPC (0 = the full
+    # hardware pool) so paging pressure is reachable at test scale.
+    stressor: str = ""
+    stressor_intensity: float = 1.0
+    stressor_start_frac: float = 0.20
+    stressor_end_frac: float = 0.80
+    epc_pages: int = 0
+    # Graceful degradation: the gateway brownout controller (priority-
+    # classed admission + pressure-proportional batching).  ``False`` is
+    # the ablation: same pressure, cliff-edge admission only.
+    brownout: bool = True
 
     def __post_init__(self) -> None:
         if self.variant not in VARIANTS:
@@ -135,6 +148,26 @@ class ClusterSpec:
         if self.suspect_after < 1 or self.recover_after < 1:
             raise ClusterSpecError(
                 "detector thresholds suspect_after/recover_after must be >= 1"
+            )
+        if self.stressor:
+            from repro.workloads.stressors import STRESSOR_NAMES
+
+            if self.stressor not in STRESSOR_NAMES:
+                raise ClusterSpecError(
+                    f"unknown stressor {self.stressor!r}; "
+                    f"pick from {STRESSOR_NAMES}"
+                )
+            if self.stressor_intensity <= 0.0:
+                raise ClusterSpecError(
+                    f"stressor intensity must be > 0, got {self.stressor_intensity}"
+                )
+            if not 0.0 <= self.stressor_start_frac < self.stressor_end_frac <= 1.0:
+                raise ClusterSpecError(
+                    "stressor window fractions must satisfy 0 <= start < end <= 1"
+                )
+        if self.epc_pages < 0:
+            raise ClusterSpecError(
+                f"epc_pages must be >= 0 (0 = full pool), got {self.epc_pages}"
             )
 
     # -- derived quantities (all pure) --------------------------------------
@@ -300,6 +333,15 @@ class ClusterSpec:
             return self.heartbeat_interval_ns
         return max(1, min(self.horizon_ns // 200, self.HEARTBEAT_CAP_NS))
 
+    def stressor_window_ns(self) -> Optional[tuple[int, int]]:
+        """Virtual-time window the noisy neighbour hammers, if any."""
+        if not self.stressor:
+            return None
+        return (
+            int(self.horizon_ns * self.stressor_start_frac),
+            int(self.horizon_ns * self.stressor_end_frac),
+        )
+
     def node_seed(self, node_index: int) -> int:
         """Independent simulation seed for one node's isolated kernel."""
         digest = hashlib.sha256(
@@ -351,6 +393,14 @@ class ClusterSpec:
             names = ",".join(str(n) for n in self.slow_nodes_set())
             parts.append(
                 f"node(s) {names} slow {start / 1e6:.1f}-{end / 1e6:.1f} ms"
+            )
+        if self.stressor:
+            start, end = self.stressor_window_ns()
+            epc = f", EPC {self.epc_pages}p" if self.epc_pages else ""
+            brownout = "on" if self.brownout else "OFF"
+            parts.append(
+                f"stressor {self.stressor} x{self.stressor_intensity:g} "
+                f"{start / 1e6:.1f}-{end / 1e6:.1f} ms{epc}, brownout {brownout}"
             )
         parts.append(f"R={self.effective_replication}")
         return ", ".join(parts)

@@ -30,6 +30,16 @@ from repro.faults.plan import (
     TcsExhaustionPlan,
     TransientEpcPlan,
 )
+from repro.faults.pressure import (
+    INJECT_EPC_RELEASE,
+    INJECT_EPC_SQUEEZE,
+    INJECT_STRESSOR_START,
+    INJECT_STRESSOR_STOP,
+    EpcSqueezeWindow,
+    PressureInjector,
+    PressurePlan,
+    StressorTenantPlan,
+)
 from repro.faults.watchdog import (
     WATCHDOG_DEADLOCK,
     WATCHDOG_ECALL_TIMEOUT,
@@ -43,10 +53,15 @@ __all__ = [
     "EnclaveLossPlan",
     "FaultInjector",
     "FaultPlan",
+    "EpcSqueezeWindow",
     "HangDetection",
     "HangWatchdog",
     "InjectedFault",
     "INJECT_EPC",
+    "INJECT_EPC_RELEASE",
+    "INJECT_EPC_SQUEEZE",
+    "INJECT_STRESSOR_START",
+    "INJECT_STRESSOR_STOP",
     "INJECT_LOSS",
     "INJECT_NET_DELAY",
     "INJECT_NET_PARTITION",
@@ -57,6 +72,9 @@ __all__ = [
     "INJECT_TCS",
     "NetworkChaosPlan",
     "OcallFaultPlan",
+    "PressureInjector",
+    "PressurePlan",
+    "StressorTenantPlan",
     "TcsExhaustionPlan",
     "TransientEpcPlan",
     "WATCHDOG_DEADLOCK",

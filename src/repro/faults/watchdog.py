@@ -73,6 +73,9 @@ class HangWatchdog:
         ecall_deadline_ns: int = 50_000_000,
         sync_deadline_ns: int = 20_000_000,
         mode: str = "raise",
+        slow_windows: tuple = (),
+        slow_extra_ns: int = 0,
+        slow_slack: float = 1.0,
     ) -> None:
         if mode not in ("raise", "record"):
             raise ValueError(f"unknown watchdog mode {mode!r}")
@@ -83,6 +86,15 @@ class HangWatchdog:
         self.ecall_deadline_ns = ecall_deadline_ns
         self.sync_deadline_ns = sync_deadline_ns
         self.mode = mode
+        # Gray-failure awareness: while a chaos slow window is active,
+        # every socket op inside an open ecall stalls ``slow_extra_ns``
+        # extra, so a frame can legitimately stay open far past the
+        # healthy deadline.  The deadline clock runs ``slow_slack`` times
+        # slower across the overlap with these windows (1.0 = paused) —
+        # a *slow* node stops being reported as a *hung* one.
+        self.slow_windows = tuple(slow_windows) if slow_extra_ns > 0 else ()
+        self.slow_extra_ns = slow_extra_ns
+        self.slow_slack = slow_slack
         self.detections: list[HangDetection] = []
         self._stopped = False
         self._armed = False
@@ -184,6 +196,21 @@ class HangWatchdog:
                     f"with no wake in flight",
                 )
 
+    def _slow_allowance_ns(self, first_ns: int, now_ns: int) -> int:
+        """Extra deadline budget from gray-failure slow windows.
+
+        Proportional to how long the frame's open interval overlaps the
+        active slow windows — an ecall that spans the whole window gets
+        the whole window forgiven (at ``slow_slack`` 1.0), one that opened
+        after recovery gets nothing.
+        """
+        if not self.slow_windows:
+            return 0
+        overlap = 0
+        for start, end in self.slow_windows:
+            overlap += max(0, min(now_ns, end) - max(first_ns, start))
+        return int(overlap * self.slow_slack)
+
     def _scan_open_ecalls(self) -> None:
         now = self.sim.now_ns
         live: set = set()
@@ -198,7 +225,8 @@ class HangWatchdog:
                     self._frame_first_seen[slot] = (frame, now)
                     continue
                 first = stored[1]
-                if now - first >= self.ecall_deadline_ns:
+                deadline = self.ecall_deadline_ns + self._slow_allowance_ns(first, now)
+                if now - first >= deadline:
                     self._report(
                         WATCHDOG_ECALL_TIMEOUT,
                         (WATCHDOG_ECALL_TIMEOUT, slot, first),

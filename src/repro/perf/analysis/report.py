@@ -41,6 +41,10 @@ class FaultAccumulator:
         self.total = 0
         self.counts: dict[str, int] = {}
         self._per_workload: dict[str, dict] = {}
+        # Resource-pressure accounting, parsed out of brownout:* rows.
+        self.shed_by_class: dict[str, int] = {}
+        self.brownout_transitions = 0
+        self.brownout_deep_transitions = 0
 
     def _bucket(self, workload: str) -> dict:
         return self._per_workload.setdefault(
@@ -59,6 +63,25 @@ class FaultAccumulator:
     def add(self, fault) -> None:
         self.total += 1
         self.counts[fault.kind] = self.counts.get(fault.kind, 0) + 1
+        if fault.kind == "brownout:level":
+            # detail: "normal -> brownout at 12345 pages/s"; escalations
+            # only, matching BrownoutController.summary() semantics.
+            order = ("normal", "brownout", "deep")
+            words = fault.detail.split()
+            if len(words) >= 3 and words[0] in order and words[2] in order:
+                if order.index(words[2]) > order.index(words[0]):
+                    self.brownout_transitions += 1
+                    if words[2] == "deep":
+                        self.brownout_deep_transitions += 1
+            return
+        if fault.kind == "brownout:shed":
+            # detail: "class=read level=deep reason=brownout backlog=12"
+            for token in fault.detail.split():
+                if token.startswith("class="):
+                    cls = token[len("class=") :]
+                    self.shed_by_class[cls] = self.shed_by_class.get(cls, 0) + 1
+                    break
+            return
         if not fault.kind.startswith("serve:"):
             return
         entry = self._bucket(fault.call or "?")
@@ -117,6 +140,14 @@ def apply_fault_annotations(
     report.fault_counts = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
     report.truncated_calls = counts.get("truncated", 0)
     report.availability = acc.availability()
+    report.pressure = {
+        "brownout_transitions": acc.brownout_transitions,
+        "brownout_deep_transitions": acc.brownout_deep_transitions,
+        "shed_by_class": dict(sorted(acc.shed_by_class.items())),
+        "epc_waits": counts.get("recover:epc-wait", 0),
+        "epc_squeezes": counts.get("inject:epc-squeeze", 0),
+        "stressor_windows": counts.get("inject:stressor-start", 0),
+    }
     report.watchdog_counts = sorted(
         (kv for kv in counts.items() if kv[0].startswith("watchdog:")),
         key=lambda kv: kv[0],
@@ -168,6 +199,8 @@ class AnalysisReport:
     # Serving-path availability: empty unless the trace has serve:* rows.
     availability: list[dict] = field(default_factory=list)
     watchdog_counts: list[tuple[str, int]] = field(default_factory=list)
+    # Resource-pressure summary: empty unless fault annotations applied.
+    pressure: dict = field(default_factory=dict)
 
     def findings_by_priority(self) -> list[det.Finding]:
         """Findings sorted best-priority-first (reorder > merge > move...)."""
@@ -195,6 +228,50 @@ class AnalysisReport:
                 lines.append(f"{kind:30} {count:>8}")
         else:
             lines.append("watchdog: no hangs detected")
+        return "\n".join(lines)
+
+    def render_pressure(self) -> str:
+        """Render the resource-pressure section (``--pressure``).
+
+        Folds the brownout evidence rows (level transitions, typed sheds
+        by priority class), EPC-wait degradation retries and the injected
+        pressure events back out of the trace — the offline mirror of the
+        per-shard brownout summary a cluster run prints live.
+        """
+        p = self.pressure
+        lines: list[str] = []
+        lines.append("-- pressure " + "-" * 66)
+        interesting = p and (
+            p["brownout_transitions"]
+            or p["shed_by_class"]
+            or p["epc_waits"]
+            or p["epc_squeezes"]
+            or p["stressor_windows"]
+        )
+        if not interesting:
+            lines.append(
+                "no resource-pressure events recorded "
+                "(no brownout:*/inject:epc-*/inject:stressor-* rows)"
+            )
+            lines.append(f"paging events: {self.paging_events}")
+            return "\n".join(lines)
+        lines.append(f"paging events: {self.paging_events}")
+        lines.append(
+            f"injected: {p['stressor_windows']} stressor window(s), "
+            f"{p['epc_squeezes']} EPC squeeze(s)"
+        )
+        lines.append(
+            f"brownout: {p['brownout_transitions']} transition(s) "
+            f"({p['brownout_deep_transitions']} deep)"
+        )
+        if p["shed_by_class"]:
+            shed = ", ".join(
+                f"{cls} {count}" for cls, count in p["shed_by_class"].items()
+            )
+            lines.append(f"shed by class: {shed}")
+        else:
+            lines.append("shed by class: none")
+        lines.append(f"epc-wait degradation retries: {p['epc_waits']}")
         return "\n".join(lines)
 
     def render_text(self, max_stats_rows: int = 20) -> str:

@@ -120,6 +120,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         if args.availability:
             print()
             print(report.render_availability())
+        if args.pressure:
+            print()
+            print(report.render_pressure())
     return 0
 
 
@@ -222,7 +225,8 @@ def _sweep_spec(args: argparse.Namespace) -> dict:
     else:
         if not args.kind:
             raise SystemExit(
-                "sweep: pass a task kind (campaign|clusternode|netcampaign|selftest) or --spec"
+                "sweep: pass a task kind "
+                "(campaign|clusternode|netcampaign|selftest|stressor) or --spec"
             )
         spec = {"kind": args.kind, "seeds": args.seeds, "params": {}, "grid": {}}
         for item in args.params:
@@ -286,6 +290,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--availability",
         action="store_true",
         help="append the serving-path availability section (serve:*/watchdog:* rows)",
+    )
+    p_analyze.add_argument(
+        "--pressure",
+        action="store_true",
+        help="append the resource-pressure section "
+        "(brownout:*/inject:epc-*/recover:epc-wait rows)",
     )
     p_analyze.add_argument(
         "--jobs",
@@ -358,7 +368,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "kind",
         nargs="?",
-        choices=["campaign", "clusternode", "netcampaign", "selftest"],
+        choices=["campaign", "clusternode", "netcampaign", "selftest", "stressor"],
         help="task kind (omit when using --spec)",
     )
     p_sweep.add_argument("--spec", help="JSON sweep spec file ('-' reads stdin)")

@@ -658,11 +658,22 @@ class EventLogger:
         return self._pending
 
     def live_counts(self) -> dict[str, int]:
-        """Cheap counter snapshot for live sampling (``sgxperf top``)."""
+        """Cheap counter snapshot for live sampling (``sgxperf top``).
+
+        Alongside the cumulative event counters, the snapshot carries the
+        EPC occupancy gauges straight off the device — resident pages,
+        the *effective* capacity (shrunk while a squeeze is active) and
+        the squeezed-away page count — so a live sampler can report
+        memory pressure without touching the trace database.
+        """
+        epc = self.urts.device.epc
         return {
             "ecalls": self._n_ecalls,
             "ocalls": self._n_ocalls,
             "aex": self._n_aex,
             "page_in": self._n_page_in,
             "page_out": self._n_page_out,
+            "epc_resident": epc.resident_pages,
+            "epc_capacity": epc.effective_capacity,
+            "epc_squeezed": epc.squeezed_pages,
         }

@@ -40,6 +40,17 @@ class TopSample:
     breaker_state: Optional[str] = None
     breaker_failures: int = 0
     breaker_opened: int = 0
+    epc_resident: int = 0
+    epc_capacity: int = 0
+    epc_squeezed: int = 0
+    brownout_level: Optional[str] = None
+
+    @property
+    def epc_occupancy(self) -> float:
+        """Resident fraction of the *effective* (post-squeeze) capacity."""
+        if self.epc_capacity <= 0:
+            return 0.0
+        return self.epc_resident / self.epc_capacity
 
     def render(self) -> str:
         line = (
@@ -48,8 +59,17 @@ class TopSample:
             f"ocalls {self.ocalls:>7} ({self.ocall_rate:>9.0f}/s) | "
             f"aex {self.aex:>5} | "
             f"paging {self.page_in + self.page_out:>5} "
-            f"(in {self.page_in}, out {self.page_out})"
+            f"(in {self.page_in}, out {self.page_out}, {self.paging_rate:.0f}/s)"
         )
+        if self.epc_capacity > 0:
+            line += (
+                f" | epc {self.epc_resident}/{self.epc_capacity}p"
+                f" ({self.epc_occupancy:.0%}"
+                + (f", squeezed {self.epc_squeezed}p" if self.epc_squeezed else "")
+                + ")"
+            )
+        if self.brownout_level is not None:
+            line += f" | brownout {self.brownout_level}"
         if self.breaker_state is not None:
             line += (
                 f" | breaker {self.breaker_state}"
@@ -66,6 +86,7 @@ class LiveTop:
         logger: EventLogger,
         interval_ns: int = DEFAULT_INTERVAL_NS,
         breaker=None,
+        brownout=None,
         on_sample: Optional[Callable[[TopSample], None]] = None,
     ) -> None:
         if interval_ns <= 0:
@@ -74,6 +95,7 @@ class LiveTop:
         self.sim = logger.sim
         self.interval_ns = int(interval_ns)
         self.breaker = breaker
+        self.brownout = brownout
         self.on_sample = on_sample
         self.samples: list[TopSample] = []
         self._last = dict.fromkeys(("ecalls", "ocalls", "aex", "page_in", "page_out"), 0)
@@ -132,6 +154,12 @@ class LiveTop:
                 self.breaker.consecutive_failures if self.breaker is not None else 0
             ),
             breaker_opened=self.breaker.opened_count if self.breaker is not None else 0,
+            epc_resident=counts.get("epc_resident", 0),
+            epc_capacity=counts.get("epc_capacity", 0),
+            epc_squeezed=counts.get("epc_squeezed", 0),
+            brownout_level=(
+                self.brownout.level_name if self.brownout is not None else None
+            ),
         )
         self._last = counts
         self._last_ns = now
@@ -147,13 +175,38 @@ class LiveTop:
         last = self.samples[-1]
         peak_ecall = max(s.ecall_rate for s in self.samples)
         peak_ocall = max(s.ocall_rate for s in self.samples)
+        peak_paging = max(s.paging_rate for s in self.samples)
         lines = [
             f"top: {len(self.samples)} samples over {last.now_ns / 1e6:.3f} ms "
             f"(virtual), interval {self.interval_ns / 1e6:g} ms",
             f"  ecalls {last.ecalls} (peak {peak_ecall:.0f}/s)   "
             f"ocalls {last.ocalls} (peak {peak_ocall:.0f}/s)",
-            f"  aex {last.aex}   paging in {last.page_in} / out {last.page_out}",
+            f"  aex {last.aex}   paging in {last.page_in} / out {last.page_out} "
+            f"(peak {peak_paging:.0f}/s)",
         ]
+        if last.epc_capacity > 0:
+            peak_resident = max(s.epc_resident for s in self.samples)
+            lines.append(
+                f"  epc {last.epc_resident}/{last.epc_capacity} pages "
+                f"({last.epc_occupancy:.0%}, peak {peak_resident}p"
+                + (
+                    f", squeezed {last.epc_squeezed}p"
+                    if last.epc_squeezed
+                    else ""
+                )
+                + ")"
+            )
+        if last.brownout_level is not None:
+            deepest = max(
+                self.samples,
+                key=lambda s: ("", "normal", "brownout", "deep").index(
+                    s.brownout_level or ""
+                ),
+            )
+            lines.append(
+                f"  brownout {last.brownout_level} "
+                f"(deepest seen {deepest.brownout_level})"
+            )
         if last.breaker_state is not None:
             lines.append(
                 f"  breaker {last.breaker_state} (opened {last.breaker_opened}x)"

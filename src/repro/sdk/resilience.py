@@ -26,6 +26,7 @@ from typing import Any, Callable, Optional
 
 from repro.sdk.edger8r import EnclaveHandle
 from repro.sdk.errors import EnclaveLostError, SgxError, SgxStatus
+from repro.sgx.epc import EpcFull
 
 # Entry failures worth retrying.  Everything else (bad parameters, missing
 # functions, crashed enclaves) is a programming error and surfaces raw.
@@ -43,6 +44,10 @@ RETRYABLE_STATUSES = frozenset(
 RECOVER_RETRY = "recover:retry"
 RECOVER_RECREATE = "recover:recreate"
 RECOVER_GIVEUP = "recover:giveup"
+# Typed degradation: the EPC had no evictable frame (a squeeze window or a
+# noisy neighbour holds the pool).  Backed off and retried — never
+# re-created, which would only add an enclave build to the thrash.
+RECOVER_EPC_WAIT = "recover:epc-wait"
 
 
 @dataclass(frozen=True)
@@ -164,11 +169,22 @@ class ResilientEnclave:
         """
         backoff = self.backoff_ns
         last_status = SgxStatus.SGX_SUCCESS
+        last_epc_full: Optional[EpcFull] = None
         for attempt in range(1, self.max_attempts + 1):
             generation = self._generation
             self._inflight += 1
+            epc_full: Optional[EpcFull] = None
             try:
                 status, result = self._handle.try_ecall(name, *args)
+            except EpcFull as exc:
+                # Sustained EPC exhaustion (every frame pinned or squeezed
+                # away) is *degradation*, not loss: the enclave is intact,
+                # it just cannot get a frame right now.  Back off and let
+                # the squeeze window pass or the co-tenant's frames rotate
+                # out — re-creating would only add an enclave build to the
+                # thrash.
+                status, result = SgxStatus.SGX_ERROR_OUT_OF_MEMORY, None
+                epc_full = exc
             except SgxError as exc:
                 # A fault thrown *inside* the call (e.g. an injected ocall
                 # failure) unwinds through sgx_ecall like a crashed
@@ -180,17 +196,23 @@ class ResilientEnclave:
                 self._inflight -= 1
             if status is SgxStatus.SGX_SUCCESS:
                 return result
-            if status not in RETRYABLE_STATUSES:
+            if epc_full is None and status not in RETRYABLE_STATUSES:
                 raise SgxError(status, name)
             last_status = status
+            last_epc_full = epc_full
             if attempt == self.max_attempts:
                 break
-            self._note(RECOVER_RETRY, name, status, attempt)
-            if status is SgxStatus.SGX_ERROR_ENCLAVE_LOST:
-                self._recover(generation, name, attempt)
+            if epc_full is not None:
+                self._note(RECOVER_EPC_WAIT, name, status, attempt)
+            else:
+                self._note(RECOVER_RETRY, name, status, attempt)
+                if status is SgxStatus.SGX_ERROR_ENCLAVE_LOST:
+                    self._recover(generation, name, attempt)
             self.sim.compute(backoff)
             backoff *= 2
         self._note(RECOVER_GIVEUP, name, last_status, self.max_attempts)
+        if last_epc_full is not None:
+            raise last_epc_full
         if last_status is SgxStatus.SGX_ERROR_ENCLAVE_LOST:
             raise EnclaveLostError(
                 f"{name}: enclave lost, {self.max_attempts} attempts exhausted"

@@ -184,6 +184,15 @@ class SgxDriver:
             # The ELDU charge yielded the turn and another thread faulting
             # on the same page completed its load first.
             return
+        # The ELDU charge also yields to pressure injectors: a squeeze
+        # window may have shrunk the pool meanwhile, so room has to be
+        # re-made before the insert (a no-op when nothing changed).
+        self._make_room(owner)
+        if page.resident:
+            # Room-making evicts (and so yields) too: under heavy
+            # contention a concurrent faulter can finish loading this very
+            # page while we were still freeing a frame for it.
+            return
         self.epc.insert(page)
         self.stats["page_in"] += 1
         self._fire(KPROBE_ELDU, owner, page, "page_in")

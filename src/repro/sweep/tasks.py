@@ -12,6 +12,9 @@ Task kinds:
 * ``campaign``    — one :func:`repro.faults.campaign.run_campaign` run;
 * ``clusternode`` — one node shard of a :mod:`repro.cluster` serving run;
 * ``netcampaign`` — one :func:`repro.faults.netcampaign.run_netcampaign` run;
+* ``stressor``    — one :func:`repro.workloads.stressors.run_stressor` run
+  (the EPC-pressure scenario matrix: ``--axis stressor=... --axis
+  intensity=...``);
 * ``selftest``    — a tiny pure-scheduler simulation (used by the engine's
   own tests and crash drills; costs milliseconds).
 
@@ -198,6 +201,12 @@ def _run_clusternode_task(params: dict, db_path: str) -> tuple[str, dict, dict]:
     return run_clusternode(params, db_path)
 
 
+def _run_stressor_task(params: dict, db_path: str) -> tuple[str, dict, dict]:
+    from repro.workloads.stressors import run_stressor_task
+
+    return run_stressor_task(params, db_path)
+
+
 def _run_selftest_task(params: dict, db_path: str) -> tuple[str, dict, dict]:
     """A tiny deterministic scheduler workload — the engine's own drill."""
     from repro.sim.kernel import Simulation
@@ -222,6 +231,7 @@ _RUNNERS = {
     "clusternode": _run_clusternode_task,
     "netcampaign": _run_netcampaign_task,
     "selftest": _run_selftest_task,
+    "stressor": _run_stressor_task,
 }
 
 TASK_KINDS = tuple(sorted(_RUNNERS))

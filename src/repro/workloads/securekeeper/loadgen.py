@@ -287,7 +287,16 @@ def run_securekeeper_netload(
         proxy, listener, zk, breaker=CircuitBreaker(sim), serving=serving
     )
     if watchdog:
-        HangWatchdog(sim, proxy.urts, logger=logger).arm()
+        # Gray-failure-aware deadlines: the chaos plan's slow windows
+        # stretch socket ops, so the watchdog must forgive the overlap.
+        chaos_net = getattr(plan, "network", None) if plan is not None else None
+        HangWatchdog(
+            sim,
+            proxy.urts,
+            logger=logger,
+            slow_windows=chaos_net.slow_windows if chaos_net is not None else (),
+            slow_extra_ns=chaos_net.slow_extra_ns if chaos_net is not None else 0,
+        ).arm()
     master = proxy.trusted.master_key
     verified = {"gets": 0, "ops": 0}
     finished = {"clients": 0}

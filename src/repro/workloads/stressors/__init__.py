@@ -1,0 +1,37 @@
+"""Stress-SGX-style stressors: seeded pressure workloads for the repro.
+
+The catalogue (:mod:`profiles`) covers the regimes the paper shows
+collapsing enclave performance — transition floods, EPC thrash above the
+93 MiB usable pool, ocall storms and sync contention — as composable,
+seeded profiles.  :mod:`app` hosts one profile in a real enclave on a
+(possibly shared) device; :mod:`runner` runs isolated characterisation
+sweeps (`sgxperf sweep stressor`); :class:`repro.faults.pressure
+.PressureInjector` schedules the same apps as noisy neighbours inside
+cluster nodes.
+"""
+
+from repro.workloads.stressors.app import StressorApp
+from repro.workloads.stressors.profiles import (
+    PROFILES,
+    STRESSOR_NAMES,
+    StressorProfile,
+    get_profile,
+)
+from repro.workloads.stressors.runner import (
+    DEFAULT_EPC_PAGES,
+    StressorResult,
+    run_stressor,
+    run_stressor_task,
+)
+
+__all__ = [
+    "DEFAULT_EPC_PAGES",
+    "PROFILES",
+    "STRESSOR_NAMES",
+    "StressorApp",
+    "StressorProfile",
+    "StressorResult",
+    "get_profile",
+    "run_stressor",
+    "run_stressor_task",
+]

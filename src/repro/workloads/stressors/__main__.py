@@ -1,0 +1,7 @@
+"""``python -m repro.workloads.stressors`` — run one stressor profile."""
+
+import sys
+
+from repro.workloads.stressors.runner import main
+
+sys.exit(main())

@@ -1,0 +1,202 @@
+"""The stressor enclave application.
+
+One :class:`StressorApp` is one co-tenant: its own enclave on a (possibly
+shared) :class:`~repro.sgx.device.SgxDevice`, with hammer threads driving
+the profile's op mix through real ecalls.  On a shared device the walker
+competes for the same EPC as every other enclave — the §3.5 multi-enclave
+contention scenario.
+
+Two driving modes:
+
+* :meth:`run_ops` — a fixed op count per thread (the standalone runner);
+* :meth:`spawn_tenants` — threads hammer until a virtual-clock deadline
+  (the noisy-neighbour mode :class:`repro.faults.pressure.PressureInjector`
+  schedules inside cluster nodes).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sdk.edger8r import build_enclave
+from repro.sdk.trts import TrustedContext
+from repro.sdk.urts import Urts
+from repro.sgx.constants import PAGE_SIZE
+from repro.sgx.device import SgxDevice
+from repro.sgx.enclave import EnclaveConfig
+from repro.sim.process import SimProcess
+from repro.workloads.stressors.profiles import StressorProfile
+
+# Untrusted wrapper cost of one storm ocall (buffer staging + syscall prep).
+STORM_WRAPPER_NS = 900
+# Pause between ops so co-tenant hammering interleaves instead of convoying.
+OP_GAP_NS = 2_000
+
+_EDL = """
+enclave {
+    trusted {
+        public int ecall_stress_spin(size_t ns);
+        public int ecall_stress_walk(size_t npages, int write);
+        public int ecall_stress_storm(size_t count, size_t nbytes);
+        public int ecall_stress_lock(size_t rounds, size_t hold_ns);
+    };
+    untrusted {
+        void ocall_stress_io(size_t nbytes);
+        void ocall_stress_nop(void);
+    };
+};
+"""
+
+
+class StressorApp:
+    """A stressor co-tenant: one enclave plus its hammer threads."""
+
+    def __init__(
+        self,
+        process: SimProcess,
+        device: SgxDevice,
+        profile: StressorProfile,
+        label: str = "stressor",
+        urts: Optional[Urts] = None,
+    ) -> None:
+        self.process = process
+        self.sim = process.sim
+        self.profile = profile
+        self.label = label
+        # A process has exactly one libsgx_urts.so: when the stressor is a
+        # co-tenant next to a serving stack, it must share that stack's
+        # URTS — loading a second one would shadow the process's
+        # ``sgx_ecall`` symbol and misroute every ecall dispatch.
+        self.urts = urts if urts is not None else Urts(process, device)
+        self.footprint_pages = profile.footprint_pages(device.epc.capacity_pages)
+        heap_bytes = self.footprint_pages * PAGE_SIZE
+        self.handle = build_enclave(
+            self.urts,
+            _EDL,
+            trusted_impls={
+                "ecall_stress_spin": self._ecall_spin,
+                "ecall_stress_walk": self._ecall_walk,
+                "ecall_stress_storm": self._ecall_storm,
+                "ecall_stress_lock": self._ecall_lock,
+            },
+            untrusted_impls={
+                "ocall_stress_io": self._ocall_io,
+                "ocall_stress_nop": self._ocall_nop,
+            },
+            config=EnclaveConfig(
+                name=f"{label}-{profile.name}",
+                code_bytes=64 * 1024,
+                data_bytes=16 * 1024,
+                heap_bytes=heap_bytes,
+                tcs_count=max(4, profile.threads + 1),
+                debug=True,
+            ),
+            code_identity=b"stress-sgx-" + profile.name.encode(),
+        )
+        runtime = self.urts.runtime(self.handle.enclave_id)
+        self._mutex = runtime.mutex(f"{label}-hammer")
+        self._cursor = 0
+        self._walk_write = False
+        self._io_fd: Optional[int] = None
+        self.ops_done = 0
+
+    # -- trusted side ----------------------------------------------------------
+
+    def _ecall_spin(self, ctx: TrustedContext, ns: int) -> int:
+        ctx.compute_jittered(f"{self.label}:spin", int(ns))
+        return 0
+
+    def _ecall_walk(self, ctx: TrustedContext, npages: int, write: int) -> int:
+        footprint = self.footprint_pages
+        position = self._cursor
+        for i in range(int(npages)):
+            page = (position + i) % footprint
+            ctx.touch_heap_bytes(page * PAGE_SIZE, 1, write=bool(write))
+        self._cursor = (position + int(npages)) % footprint
+        return int(npages)
+
+    def _ecall_storm(self, ctx: TrustedContext, count: int, nbytes: int) -> int:
+        for _ in range(int(count)):
+            ctx.ocall("ocall_stress_io", int(nbytes))
+        return int(count)
+
+    def _ecall_lock(self, ctx: TrustedContext, rounds: int, hold_ns: int) -> int:
+        for _ in range(int(rounds)):
+            self._mutex.lock(ctx)
+            ctx.compute(int(hold_ns))
+            self._mutex.unlock(ctx)
+        return int(rounds)
+
+    # -- untrusted side ---------------------------------------------------------
+
+    def _ocall_io(self, uctx, nbytes: int) -> None:
+        os = self.process.os
+        if self._io_fd is None:
+            self._io_fd = os.open(f"{self.label}.dat")
+        uctx.compute_jittered(f"{self.label}:io-wrap", STORM_WRAPPER_NS)
+        # Overwrite in place so the storm never grows the backing file.
+        os.pwrite(self._io_fd, b"\x00" * int(nbytes), 0)
+
+    def _ocall_nop(self, uctx) -> None:
+        uctx.compute_jittered(f"{self.label}:nop", STORM_WRAPPER_NS)
+
+    # -- driving ---------------------------------------------------------------
+
+    def run_op(self) -> None:
+        """One op of the profile's mix, through real ecalls."""
+        profile = self.profile
+        if profile.spin_ns:
+            self.handle.ecall("ecall_stress_spin", profile.spin_ns)
+        if profile.walk_pages_per_op:
+            self._walk_write = not self._walk_write
+            self.handle.ecall(
+                "ecall_stress_walk", profile.walk_pages_per_op, int(self._walk_write)
+            )
+        if profile.ocalls_per_op:
+            self.handle.ecall("ecall_stress_storm", profile.ocalls_per_op, profile.io_bytes)
+        if profile.lock_rounds_per_op:
+            self.handle.ecall(
+                "ecall_stress_lock", profile.lock_rounds_per_op, profile.hold_ns
+            )
+        self.ops_done += 1
+
+    def _hammer(self, worker: int, ops: int, until_ns: Optional[int]) -> None:
+        stream = f"{self.label}:gap:w{worker}"
+        remaining = ops
+        while True:
+            if until_ns is not None and self.sim.now_ns >= until_ns:
+                return
+            if until_ns is None and remaining <= 0:
+                return
+            self.run_op()
+            remaining -= 1
+            self.sim.compute(self.sim.rng.jitter_ns(stream, OP_GAP_NS))
+
+    def spawn_workers(self, ops_per_thread: int) -> None:
+        """Spawn the profile's hammer threads for a fixed op count each."""
+        for worker in range(self.profile.threads):
+            self.process.pthread_create(
+                self._hammer, worker, ops_per_thread, None,
+                name=f"{self.label}-w{worker}",
+            )
+
+    def spawn_tenants(self, until_ns: int) -> list:
+        """Spawn daemon hammer threads running until a virtual-clock deadline.
+
+        Daemon threads so a co-tenant never extends the host simulation:
+        when the real workload finishes, the noise dies with it.
+        """
+        threads = []
+        for worker in range(self.profile.threads):
+            threads.append(
+                self.sim.spawn(
+                    self._hammer, worker, 0, until_ns,
+                    name=f"{self.label}-w{worker}",
+                    daemon=True,
+                )
+            )
+        return threads
+
+    def close(self) -> None:
+        """Destroy the stressor enclave, releasing its EPC frames."""
+        self.handle.destroy()

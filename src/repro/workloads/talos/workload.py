@@ -115,7 +115,16 @@ def run_talos_chaos(
         timeout_ns=client_timeout_ns,
     )
     if watchdog:
-        HangWatchdog(sim, app.urts, logger=logger).arm()
+        # Gray-failure-aware deadlines: the chaos plan's slow windows
+        # stretch socket ops, so the watchdog must forgive the overlap.
+        net = getattr(plan, "network", None) if plan is not None else None
+        HangWatchdog(
+            sim,
+            app.urts,
+            logger=logger,
+            slow_windows=net.slow_windows if net is not None else (),
+            slow_extra_ns=net.slow_extra_ns if net is not None else 0,
+        ).arm()
 
     def client_main() -> None:
         client.run(requests)

@@ -1,0 +1,139 @@
+"""PressurePlan scheduling: EPC squeezes and stressor co-tenants."""
+
+import pytest
+
+from repro.faults.pressure import (
+    EpcSqueezeWindow,
+    PressureInjector,
+    PressurePlan,
+    StressorTenantPlan,
+)
+from repro.sgx.device import SgxDevice
+from repro.sgx.epc import Epc
+from repro.sim.process import SimProcess
+
+
+def make_host(seed=0, epc_pages=1024):
+    process = SimProcess(seed=seed)
+    device = SgxDevice(process.sim, epc=Epc(epc_pages))
+    return process, device
+
+
+class TestPlan:
+    def test_disabled_plan_schedules_nothing(self):
+        plan = PressurePlan.disabled()
+        assert not plan.enabled
+        assert plan.horizon_ns == 0
+
+    def test_zero_extent_windows_are_inactive(self):
+        plan = PressurePlan(
+            tenants=(StressorTenantPlan(start_ns=5, end_ns=5),),
+            squeezes=(EpcSqueezeWindow(start_ns=0, end_ns=9, pages=0),),
+        )
+        assert not plan.enabled
+
+    def test_overlapping_squeezes_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            PressurePlan(
+                squeezes=(
+                    EpcSqueezeWindow(0, 100, 10),
+                    EpcSqueezeWindow(50, 150, 10),
+                )
+            )
+
+    def test_horizon_is_last_window_end(self):
+        plan = PressurePlan(
+            tenants=(StressorTenantPlan(start_ns=0, end_ns=500),),
+            squeezes=(EpcSqueezeWindow(100, 900, 10),),
+        )
+        assert plan.horizon_ns == 900
+
+
+class TestInjector:
+    def test_disabled_injector_arms_nothing(self):
+        process, device = make_host()
+        injector = PressureInjector(PressurePlan.disabled(), process, device)
+        injector.arm()
+        assert injector.stats == {}
+        with pytest.raises(RuntimeError):
+            injector.arm()  # double-arm is a programming error
+
+    def test_squeeze_window_applies_and_releases(self):
+        process, device = make_host()
+        plan = PressurePlan(squeezes=(EpcSqueezeWindow(10_000, 500_000, 300),))
+        injector = PressureInjector(plan, process, device).arm()
+        observed = {}
+
+        def main():
+            # compute() jitters, so poll the pool instead of aiming at times.
+            while device.epc.squeezed_pages == 0 and process.sim.now_ns < 400_000:
+                process.sim.compute(5_000)
+            observed["during"] = device.epc.squeezed_pages
+            while process.sim.now_ns < 700_000:
+                process.sim.compute(10_000)
+            observed["after"] = device.epc.squeezed_pages
+
+        process.pthread_create(main, name="main")
+        process.sim.run()
+        assert observed == {"during": 300, "after": 0}
+        assert injector.stats["inject:epc-squeeze"] == 1
+        assert injector.stats["inject:epc-squeeze-release"] == 1
+
+    def test_tenant_window_runs_and_tears_down(self):
+        process, device = make_host(seed=3)
+        plan = PressurePlan(
+            tenants=(
+                StressorTenantPlan(
+                    stressor="cpu-spin", start_ns=5_000, end_ns=2_000_000
+                ),
+            )
+        )
+        injector = PressureInjector(plan, process, device).arm()
+
+        def main():
+            process.sim.compute(4_000_000)
+
+        process.pthread_create(main, name="main")
+        process.sim.run()
+        assert injector.tenant_ops > 0
+        assert injector.stats["inject:stressor-start"] == 1
+        assert injector.stats["inject:stressor-stop"] == 1
+        # The tenant enclave was destroyed: its frames went back to the pool.
+        assert device.epc.resident_pages == 0
+
+    def test_pressure_is_daemon_only(self):
+        """A pressure window never extends the host simulation."""
+        process, device = make_host()
+        plan = PressurePlan(squeezes=(EpcSqueezeWindow(1_000_000, 9_000_000, 10),))
+        PressureInjector(plan, process, device).arm()
+
+        def main():
+            process.sim.compute(10_000)  # finishes long before the window
+
+        process.pthread_create(main, name="main")
+        process.sim.run()
+        assert process.sim.now_ns < 1_000_000
+
+    def test_identical_seeds_replay_identically(self):
+        def run(seed):
+            process, device = make_host(seed=seed, epc_pages=512)
+            plan = PressurePlan(
+                tenants=(
+                    StressorTenantPlan(
+                        stressor="epc-thrash",
+                        intensity=0.5,
+                        start_ns=0,
+                        end_ns=1_500_000,
+                    ),
+                )
+            )
+            injector = PressureInjector(plan, process, device).arm()
+
+            def main():
+                process.sim.compute(3_000_000)
+
+            process.pthread_create(main, name="main")
+            process.sim.run()
+            return injector.tenant_ops, dict(device.driver.stats), process.sim.now_ns
+
+        assert run(7) == run(7)

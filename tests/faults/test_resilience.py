@@ -101,3 +101,63 @@ class TestResilientEnclave:
     def test_max_attempts_must_be_positive(self, urts):
         with pytest.raises(ValueError):
             ResilientEnclave(make_factory(urts), max_attempts=0)
+
+
+class TestEpcDegradation:
+    """Sustained EpcFull is degradation, not loss: back off, never rebuild."""
+
+    class _StarvedHandle:
+        """A handle whose entries hit a starved EPC ``failures`` times."""
+
+        def __init__(self, urts, failures):
+            from repro.sgx.epc import EpcFull
+
+            self.urts = urts
+            self.enclave_id = 99
+            self._failures = failures
+            self._error = EpcFull(
+                "no evictable frame",
+                requested_pages=1,
+                resident_pages=10,
+                capacity_pages=10,
+                effective_capacity=4,
+                squeezed_pages=6,
+            )
+            self.destroyed = False
+
+        def try_ecall(self, name, *args):
+            if self._failures > 0:
+                self._failures -= 1
+                raise self._error
+            return SgxStatus.SGX_SUCCESS, "ok"
+
+        def destroy(self):
+            self.destroyed = True
+
+    def test_epc_full_backs_off_without_recreating(self, urts):
+        from repro.sdk.resilience import RECOVER_EPC_WAIT
+
+        handle = self._StarvedHandle(urts, failures=2)
+        resilient = ResilientEnclave(lambda: handle, backoff_ns=100_000)
+        start = urts.sim.now_ns
+        assert resilient.ecall("ecall_add") == "ok"
+        assert resilient.generation == 0  # never re-created
+        assert resilient.stats[RECOVER_EPC_WAIT] == 2
+        assert RECOVER_RECREATE not in resilient.stats
+        # Two waits with exponential backoff: at least 100k + 200k ns.
+        assert urts.sim.now_ns - start >= 300_000
+        assert not handle.destroyed
+
+    def test_sustained_starvation_raises_the_typed_error(self, urts):
+        from repro.sdk.resilience import RECOVER_EPC_WAIT
+        from repro.sgx.epc import EpcFull
+
+        handle = self._StarvedHandle(urts, failures=10)
+        resilient = ResilientEnclave(lambda: handle, max_attempts=3)
+        with pytest.raises(EpcFull) as excinfo:
+            resilient.ecall("ecall_add")
+        # The typed error surfaces with its occupancy context intact.
+        assert excinfo.value.squeezed_pages == 6
+        assert resilient.stats[RECOVER_EPC_WAIT] == 2
+        assert resilient.stats[RECOVER_GIVEUP] == 1
+        assert resilient.generation == 0

@@ -224,3 +224,65 @@ class TestEcallTimeout:
         sim.spawn(churn)
         sim.run()
         assert watchdog.detections == []
+
+
+class TestSlowWindowDeadlines:
+    """Gray nodes are slow, not hung: chaos slow windows stretch deadlines."""
+
+    def test_allowance_is_overlap_times_slack(self):
+        app = HangApp()
+        watchdog = HangWatchdog(
+            app.process.sim,
+            app.urts,
+            slow_windows=((100, 200), (400, 600)),
+            slow_extra_ns=50_000,
+            slow_slack=0.5,
+        )
+        # [150, 500) overlaps 50 ns of the first window, 100 of the second.
+        assert watchdog._slow_allowance_ns(150, 500) == 75
+        assert watchdog._slow_allowance_ns(700, 900) == 0
+
+    def test_windows_ignored_without_slow_extra(self):
+        app = HangApp()
+        watchdog = HangWatchdog(
+            app.process.sim, app.urts, slow_windows=((0, 10**9),), slow_extra_ns=0
+        )
+        assert watchdog.slow_windows == ()
+
+    def test_slow_window_forgives_gray_ecall(self):
+        # An 8 ms ecall against a 3 ms deadline: hung on a healthy node,
+        # merely slow inside a declared slow window.
+        app = HangApp()
+        sim = app.process.sim
+        watchdog = HangWatchdog(
+            sim,
+            app.urts,
+            check_interval_ns=100_000,
+            ecall_deadline_ns=3_000_000,
+            slow_windows=((0, 20_000_000),),
+            slow_extra_ns=1_000_000,
+        ).arm()
+        sim.spawn(lambda: app.handle.ecall("ecall_spin", 8_000_000), name="gray")
+        sim.run()
+        assert watchdog.detections == []
+
+    def test_ecall_outside_window_still_times_out(self):
+        app = HangApp()
+        sim = app.process.sim
+        HangWatchdog(
+            sim,
+            app.urts,
+            check_interval_ns=100_000,
+            ecall_deadline_ns=3_000_000,
+            slow_windows=((0, 1_000_000),),
+            slow_extra_ns=1_000_000,
+        ).arm()
+
+        def late_spin():
+            sim.compute(2_000_000)  # window has closed before the ecall opens
+            app.handle.ecall("ecall_spin", 50_000_000)
+
+        sim.spawn(late_spin, name="late")
+        with pytest.raises(WatchdogHangError) as excinfo:
+            sim.run()
+        assert excinfo.value.kind == WATCHDOG_ECALL_TIMEOUT

@@ -122,6 +122,52 @@ class TestDriver:
         assert victim.resident
         assert driver.stats["page_in"] == 1
 
+    def test_concurrent_faults_never_double_insert(self):
+        """Threads faulting one hot page race through the ELDU yields.
+
+        The loser must notice the winner's insert even when its *second*
+        make-room (the post-ELDU squeeze re-check) evicted — and so
+        yielded — after the residency check.  Two hammers poll the hot
+        page and fault it the instant a thrasher evicts it, so both sit
+        in that window together many times per run.  Regression: deep
+        thrash in the brownout-ablation cluster crashed here with
+        "already resident".
+        """
+        sim, driver = self.make_driver(capacity=12)
+        enclave = driver.create_enclave(EnclaveConfig(heap_bytes=64 * 4096))
+        heap = [p for p in enclave.pages if p.page_type is PageType.HEAP]
+        hot = heap[0]
+        horizon = sim.now_ns + 3_000_000
+
+        def hammer():
+            while sim.now_ns < horizon:
+                if hot.resident:
+                    sim.compute(150)
+                    continue
+                try:
+                    driver.load_page(hot)
+                except EpcFull:
+                    pass
+
+        def thrash(offset):
+            cold = heap[1:]
+            i = 0
+            while sim.now_ns < horizon:
+                try:
+                    driver.load_page(cold[(offset * 11 + i) % len(cold)])
+                except EpcFull:
+                    pass
+                i += 1
+
+        for t in range(2):
+            sim.spawn(hammer, name=f"hammer-{t}", daemon=True)
+        for t in range(4):
+            sim.spawn(thrash, t, name=f"thrash-{t}", daemon=True)
+        sim.spawn(lambda: sim.compute(3_010_000), name="main")
+        sim.run()
+        assert driver.stats["page_in"] > driver.epc.capacity_pages
+        assert driver.epc.resident_pages <= driver.epc.capacity_pages
+
     def test_load_resident_page_is_noop(self):
         sim, driver = self.make_driver(capacity=4096)
         enclave = driver.create_enclave(EnclaveConfig())

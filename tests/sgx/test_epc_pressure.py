@@ -1,0 +1,135 @@
+"""EPC squeeze windows, occupancy accounting and EpcFull context."""
+
+import pytest
+
+from repro.sgx.cpu import SgxCpu
+from repro.sgx.enclave import EnclaveConfig, Page, PageType
+from repro.sgx.epc import Epc, EpcFull
+from repro.sgx.paging import SgxDriver
+from repro.sim.kernel import Simulation
+
+
+def page(i=0):
+    return Page(enclave_id=1, index=i, page_type=PageType.HEAP)
+
+
+class TestSqueeze:
+    def test_squeeze_shrinks_effective_capacity(self):
+        epc = Epc(capacity_pages=100)
+        epc.squeeze(40)
+        assert epc.effective_capacity == 60
+        assert epc.free_pages == 60
+        assert epc.squeezed_pages == 40
+
+    def test_release_restores_full_pool(self):
+        epc = Epc(capacity_pages=100)
+        epc.squeeze(40)
+        epc.release_squeeze()
+        assert epc.effective_capacity == 100
+        assert epc.squeezed_pages == 0
+
+    def test_squeeze_always_leaves_one_usable_frame(self):
+        epc = Epc(capacity_pages=10)
+        epc.squeeze(10_000)
+        assert epc.effective_capacity == 1
+
+    def test_negative_squeeze_rejected(self):
+        with pytest.raises(ValueError):
+            Epc(capacity_pages=10).squeeze(-1)
+
+    def test_squeeze_events_count_changes_only(self):
+        epc = Epc(capacity_pages=100)
+        epc.squeeze(10)
+        epc.squeeze(10)  # no change, no event
+        epc.squeeze(20)
+        epc.release_squeeze()
+        assert epc.squeeze_events == 3
+
+    def test_resident_pages_survive_a_squeeze(self):
+        epc = Epc(capacity_pages=4)
+        pages = [page(i) for i in range(3)]
+        for p in pages:
+            epc.insert(p)
+        epc.squeeze(3)  # over-committed now: 3 resident, 1 usable
+        assert all(p.resident for p in pages)
+        assert epc.is_full
+        with pytest.raises(EpcFull):
+            epc.insert(page(9))
+
+
+class TestOccupancy:
+    def test_snapshot_keys_and_values(self):
+        epc = Epc(capacity_pages=8)
+        epc.insert(page(0))
+        epc.squeeze(2)
+        snap = epc.occupancy()
+        assert snap == {
+            "resident_pages": 1,
+            "capacity_pages": 8,
+            "effective_capacity": 6,
+            "squeezed_pages": 2,
+            "pinned_pages": 0,
+            "free_pages": 5,
+            "high_water_pages": 1,
+        }
+
+    def test_high_water_is_monotonic(self):
+        epc = Epc(capacity_pages=8)
+        pages = [page(i) for i in range(3)]
+        for p in pages:
+            epc.insert(p)
+        for p in pages:
+            epc.remove(p)
+        assert epc.resident_pages == 0
+        assert epc.high_water_pages == 3
+
+
+class TestEpcFullContext:
+    def test_insert_when_full_carries_occupancy(self):
+        epc = Epc(capacity_pages=2)
+        epc.insert(page(0))
+        epc.insert(page(1))
+        with pytest.raises(EpcFull) as excinfo:
+            epc.insert(page(2))
+        exc = excinfo.value
+        assert exc.resident_pages == 2
+        assert exc.capacity_pages == 2
+        assert exc.effective_capacity == 2
+        assert exc.requested_pages == 1
+        assert exc.occupancy()["resident_pages"] == 2
+
+    def test_all_pinned_carries_pin_count(self):
+        epc = Epc(capacity_pages=1)
+        p = page()
+        epc.insert(p)
+        epc.pin(p)
+        with pytest.raises(EpcFull) as excinfo:
+            epc.choose_victim()
+        assert excinfo.value.pinned_pages == 1
+
+    def test_squeeze_context_visible_in_error(self):
+        epc = Epc(capacity_pages=4)
+        epc.insert(page(0))
+        epc.squeeze(3)
+        with pytest.raises(EpcFull) as excinfo:
+            epc.insert(page(1))
+        assert excinfo.value.squeezed_pages == 3
+        assert excinfo.value.effective_capacity == 1
+
+
+class TestDriverUnderSqueeze:
+    def test_squeeze_forces_evictions_on_next_load(self):
+        sim = Simulation(seed=2)
+        driver = SgxDriver(sim, SgxCpu(), Epc(capacity_pages=4096))
+        enclave = driver.create_enclave(EnclaveConfig(heap_bytes=256 * 1024))
+        assert driver.stats["page_out"] == 0  # fits comfortably
+        resident = driver.epc.resident_pages
+        driver.epc.squeeze(4096 - resident + 8)  # leave fewer frames than resident
+        victim = next(
+            p for p in enclave.pages if p.resident and p.page_type is PageType.HEAP
+        )
+        driver.epc.remove(victim)
+        driver.load_page(victim)  # make-room must now evict to find a frame
+        assert victim.resident
+        assert driver.stats["page_out"] > 0
+        assert driver.epc.resident_pages <= driver.epc.effective_capacity
