@@ -7,8 +7,25 @@ with the Spectre fixes (≈1.74×) and ≈4,890 ns with the L1TF microcode
 
 from conftest import run_once
 
-from repro.bench import run_transition_experiment
+from repro.bench import run_switchless_microbench, run_transition_experiment
 from repro.sgx.constants import PatchLevel
+
+
+def test_switchless_vs_eenter(benchmark):
+    """The optimizer's switchless runtime vs the regular ecall path."""
+    result = run_once(benchmark, run_switchless_microbench, calls=500)
+    print()
+    print(result.render())
+    by_mode = {row.mode: row for row in result.rows}
+    # Regular path: ~4.2 us per empty ecall plus the logger's per-call
+    # recording overhead (both runs pay it), one EENTER/EEXIT pair per call.
+    assert 4_500 < by_mode["eenter"].per_call_ns < 7_000
+    assert by_mode["eenter"].ecalls >= 600  # warm-up + measured calls
+    # Switchless: the worker's single service ecall instead of one per
+    # call, and well under half the per-call cost.
+    assert by_mode["switchless"].ecalls <= 5
+    assert by_mode["switchless"].transitions < by_mode["eenter"].transitions / 20
+    assert result.speedup > 2.0
 
 
 def test_transition_costs(benchmark):

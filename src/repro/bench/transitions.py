@@ -68,6 +68,111 @@ class TransitionResult:
         return "\n".join(lines)
 
 
+@dataclass
+class SwitchlessBenchRow:
+    """One serving mode's cost for the same hot empty ecall."""
+
+    mode: str  # eenter | switchless
+    per_call_ns: float
+    ecalls: int
+    ocalls: int
+    transitions: int
+
+
+@dataclass
+class SwitchlessBenchResult:
+    """Regular vs switchless serving of the same call stream."""
+
+    rows: list[SwitchlessBenchRow]
+
+    @property
+    def speedup(self) -> float:
+        by_mode = {row.mode: row for row in self.rows}
+        return by_mode["eenter"].per_call_ns / by_mode["switchless"].per_call_ns
+
+    def render(self) -> str:
+        lines = [
+            "Switchless vs EENTER for a hot empty ecall (the SISC mitigation,",
+            "  optimizer runtime: in-enclave worker polling a futexed queue)",
+            f"{'mode':12} {'per-call ns':>12} {'ecalls':>8} {'ocalls':>8} {'transitions':>12}",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.mode:12} {row.per_call_ns:>12.0f} {row.ecalls:>8} "
+                f"{row.ocalls:>8} {row.transitions:>12}"
+            )
+        lines.append(f"speedup: {self.speedup:.2f}x")
+        return "\n".join(lines)
+
+
+def run_switchless_microbench(
+    calls: int = 500, seed: int = 0
+) -> SwitchlessBenchResult:
+    """Serve the same empty-ecall stream through EENTER and switchless.
+
+    Both runs are recorded under the event logger, so the transition
+    counts are measured from the trace, not derived: the regular mode pays
+    one EENTER/EEXIT pair per call, the switchless mode only the worker's
+    single service ecall (plus its idle-sleep sync ocalls).
+    """
+    import os
+    import tempfile
+
+    from repro.optimizer import OptimizationPlan, SwitchlessCall
+    from repro.perf.database import TraceDatabase
+    from repro.perf.logger import AexMode, EventLogger
+
+    workdir = tempfile.mkdtemp(prefix="sgxperf-swl-bench-")
+    rows: list[SwitchlessBenchRow] = []
+    for mode in ("eenter", "switchless"):
+        process = SimProcess(seed=seed)
+        device = SgxDevice(process.sim)
+        urts = Urts(process, device)
+        plan = None
+        if mode == "switchless":
+            plan = OptimizationPlan(
+                switchless=[
+                    SwitchlessCall(call="ecall_empty", count=calls, short_fraction=1.0)
+                ]
+            )
+        handle = build_enclave(
+            urts,
+            _EDL,
+            {"ecall_empty": lambda ctx: 0},
+            {"ocall_empty": lambda uctx: None},
+            interface_plan=plan,
+            config=EnclaveConfig(heap_bytes=64 * 1024, tcs_count=2),
+        )
+        path = os.path.join(workdir, f"{mode}.db")
+        elapsed = {}
+        with EventLogger(process, urts, database=path, aex_mode=AexMode.COUNT):
+
+            def load() -> None:
+                for _ in range(100):  # warm-up
+                    handle.ecall("ecall_empty")
+                start = process.sim.now_ns
+                for _ in range(calls):
+                    handle.ecall("ecall_empty")
+                elapsed["ns"] = process.sim.now_ns - start
+                handle.destroy()
+
+            process.sim.spawn(load, name="bench")
+            process.sim.run()
+        with TraceDatabase(path) as db:
+            ecalls = len(db.calls(kind="ecall"))
+            ocalls = len(db.calls(kind="ocall"))
+        rows.append(
+            SwitchlessBenchRow(
+                mode=mode,
+                per_call_ns=elapsed["ns"] / calls,
+                ecalls=ecalls,
+                ocalls=ocalls,
+                transitions=2 * (ecalls + ocalls),
+            )
+        )
+    return SwitchlessBenchResult(rows=rows)
+
+
 def run_transition_experiment(calls: int = 2_000, seed: int = 0) -> TransitionResult:
     """Measure empty-ecall cost at each patch level."""
     rows: list[TransitionRow] = []

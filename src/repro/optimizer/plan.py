@@ -1,0 +1,181 @@
+"""The :class:`OptimizationPlan` data model.
+
+A plan is plain data — JSON-serialisable, workload-independent — listing
+the interface transforms the optimizer derived from analyser findings:
+
+* **fused pairs** — an SDSC parent/child ocall pair replaced by one
+  generated merged ocall (the parent's result is predicted trusted-side
+  via its *result model*);
+* **switchless calls** — hot short ecalls served by an in-enclave worker
+  thread polling a shared request queue instead of EENTER/EEXIT;
+* **batched ocalls** — defer-safe ocalls buffered in-enclave and flushed
+  as one generated vector ocall.
+
+``skipped`` records findings the optimizer saw but could not act on, with
+the reason — the audit trail that makes ``--apply`` trustworthy.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+PLAN_SCHEMA = "sgxperf-plan/1"
+
+# Result models for deferred fused-pair parents: how the trusted runtime
+# predicts the parent's return value without performing the call yet.
+ECHO = "echo"  # returns one of its own arguments (e.g. lseek -> offset)
+CONST = "const"  # returns a constant (void/ignored results -> None)
+
+
+@dataclass(frozen=True)
+class FusedPair:
+    """One SDSC ocall pair merged into a generated combined ocall."""
+
+    parent: str
+    child: str
+    name: str  # generated fused ocall name
+    result_model: str = CONST  # ECHO | CONST
+    result_arg: Optional[int] = None  # argument index echoed back for ECHO
+    pairs: int = 0  # observed successive pairs (evidence)
+    score: float = 0.0  # Equation 3 score (evidence)
+
+    def to_dict(self) -> dict:
+        return {
+            "parent": self.parent,
+            "child": self.child,
+            "name": self.name,
+            "result_model": self.result_model,
+            "result_arg": self.result_arg,
+            "pairs": self.pairs,
+            "score": self.score,
+        }
+
+
+@dataclass(frozen=True)
+class SwitchlessCall:
+    """One hot short ecall converted to the switchless worker runtime."""
+
+    call: str
+    count: int = 0  # observed call count (evidence)
+    short_fraction: float = 0.0  # fraction of executions under 5 us
+
+    def to_dict(self) -> dict:
+        return {
+            "call": self.call,
+            "count": self.count,
+            "short_fraction": self.short_fraction,
+        }
+
+
+@dataclass(frozen=True)
+class BatchedOcall:
+    """One defer-safe ocall coalesced into a generated vector ocall."""
+
+    call: str
+    name: str  # generated batch ocall name
+    max_batch: int = 16
+    count: int = 0  # observed call count (evidence)
+
+    def to_dict(self) -> dict:
+        return {
+            "call": self.call,
+            "name": self.name,
+            "max_batch": self.max_batch,
+            "count": self.count,
+        }
+
+
+@dataclass(frozen=True)
+class SkippedTransform:
+    """A finding the optimizer declined to act on, and why."""
+
+    call: str
+    transform: str
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {"call": self.call, "transform": self.transform, "reason": self.reason}
+
+
+@dataclass
+class OptimizationPlan:
+    """Everything ``sgxperf optimize`` derived from one trace's findings."""
+
+    fused: list[FusedPair] = field(default_factory=list)
+    switchless: list[SwitchlessCall] = field(default_factory=list)
+    batched: list[BatchedOcall] = field(default_factory=list)
+    skipped: list[SkippedTransform] = field(default_factory=list)
+    source: str = ""  # trace path the findings came from
+
+    @property
+    def empty(self) -> bool:
+        """Whether the plan carries no applicable transform."""
+        return not (self.fused or self.switchless or self.batched)
+
+    def transform_count(self) -> int:
+        """Number of applicable transforms."""
+        return len(self.fused) + len(self.switchless) + len(self.batched)
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": PLAN_SCHEMA,
+            "source": self.source,
+            "transforms": {
+                "fused": [f.to_dict() for f in self.fused],
+                "switchless": [s.to_dict() for s in self.switchless],
+                "batched": [b.to_dict() for b in self.batched],
+            },
+            "skipped": [s.to_dict() for s in self.skipped],
+        }
+
+    def to_json(self) -> str:
+        """Canonical JSON text (byte-stable: sorted keys)."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "OptimizationPlan":
+        schema = document.get("schema")
+        if schema != PLAN_SCHEMA:
+            raise ValueError(
+                f"unsupported plan schema {schema!r} (expected {PLAN_SCHEMA!r})"
+            )
+        transforms = document.get("transforms", {})
+        return cls(
+            fused=[FusedPair(**d) for d in transforms.get("fused", [])],
+            switchless=[SwitchlessCall(**d) for d in transforms.get("switchless", [])],
+            batched=[BatchedOcall(**d) for d in transforms.get("batched", [])],
+            skipped=[SkippedTransform(**d) for d in document.get("skipped", [])],
+            source=document.get("source", ""),
+        )
+
+    @classmethod
+    def from_json(cls, text: Union[str, bytes]) -> "OptimizationPlan":
+        return cls.from_dict(json.loads(text))
+
+    def render_text(self) -> str:
+        """Terminal summary of the plan."""
+        lines = ["optimization plan" + (f" (from {self.source})" if self.source else "")]
+        if self.empty:
+            lines.append("  no applicable transforms")
+        for pair in self.fused:
+            lines.append(
+                f"  fuse    {pair.parent} + {pair.child} -> {pair.name} "
+                f"({pair.pairs} pairs, score {pair.score:.2f})"
+            )
+        for call in self.switchless:
+            lines.append(
+                f"  switchless  {call.call} ({call.count} calls, "
+                f"{call.short_fraction:.0%} short)"
+            )
+        for batch in self.batched:
+            lines.append(
+                f"  batch   {batch.call} -> {batch.name} "
+                f"(max {batch.max_batch}, {batch.count} calls)"
+            )
+        if self.skipped:
+            lines.append("  skipped:")
+            for skip in self.skipped:
+                lines.append(f"    {skip.transform:10} {skip.call}: {skip.reason}")
+        return "\n".join(lines)

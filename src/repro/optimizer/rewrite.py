@@ -1,0 +1,196 @@
+"""Apply an :class:`OptimizationPlan` to the EDL/proxy layer.
+
+This is the ``sgx_edger8r``-shaped half of the optimizer: given a plan it
+*regenerates the interface* — appends the fused/batched ocall
+declarations and the generated service ecalls to the
+:class:`~repro.sdk.edl.EnclaveDefinition`, synthesises the untrusted
+implementations for the generated calls out of the application's existing
+ones, and (after the enclave is created) binds the runtime objects that
+make the transforms live:
+
+* :class:`~repro.optimizer.runtime.InterfaceRuntime` on
+  ``EnclaveRuntime.interface`` (fusion + batching, trusted side);
+* :class:`~repro.optimizer.switchless.SwitchlessRuntime` on the
+  generated proxies (hot ecalls bypass ``sgx_ecall``).
+
+All generated declarations are *appended*, so every pre-existing ecall
+and ocall keeps its numeric identifier — the optimized enclave's
+dispatch tables are a strict superset of the unoptimized ones.
+
+``build_enclave(..., interface_plan=plan)`` drives this; applications
+never call the rewriter directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.optimizer.plan import OptimizationPlan
+from repro.optimizer.runtime import InterfaceRuntime
+from repro.optimizer.switchless import WORKER_ECALL, SwitchlessRuntime
+from repro.sdk.edl import (
+    Direction,
+    EcallDecl,
+    EdlError,
+    EnclaveDefinition,
+    OcallDecl,
+    Param,
+    fuse_ocall_decls,
+)
+
+FLUSH_ECALL = "ecall_interface_flush"
+
+
+class InterfaceRewriter:
+    """One plan application: definition rewrite, impl synthesis, binding."""
+
+    def __init__(self, plan: OptimizationPlan) -> None:
+        self.plan = plan
+        self.interface: Optional[InterfaceRuntime] = None
+        self.switchless: Optional[SwitchlessRuntime] = None
+
+    # -- step 1: the interface itself ---------------------------------------
+
+    def rewrite_definition(self, definition: EnclaveDefinition) -> None:
+        """Append the generated declarations (mutates ``definition``)."""
+        plan = self.plan
+        for pair in plan.fused:
+            for name in (pair.parent, pair.child):
+                if not definition.has_ocall(name):
+                    raise EdlError(
+                        f"plan fuses unknown ocall {name!r} "
+                        f"(plan source: {plan.source or 'unknown'})"
+                    )
+            definition.add_ocall(
+                fuse_ocall_decls(
+                    definition.ocall(pair.parent),
+                    definition.ocall(pair.child),
+                    pair.name,
+                )
+            )
+        for batch in plan.batched:
+            if not definition.has_ocall(batch.call):
+                raise EdlError(f"plan batches unknown ocall {batch.call!r}")
+            base = definition.ocall(batch.call)
+            definition.add_ocall(
+                OcallDecl(
+                    name=batch.name,
+                    return_type="void",
+                    params=(
+                        Param("n", "size_t"),
+                        Param("reqs", "uint8_t*", Direction.IN, size="nbytes"),
+                        Param("nbytes", "size_t"),
+                    ),
+                    allowed_ecalls=base.allowed_ecalls,
+                )
+            )
+        for call in plan.switchless:
+            if not definition.has_ecall(call.call):
+                raise EdlError(f"plan makes unknown ecall {call.call!r} switchless")
+        if plan.switchless:
+            definition.add_ecall(
+                EcallDecl(name=WORKER_ECALL, return_type="int", params=())
+            )
+        if plan.batched:
+            definition.add_ecall(
+                EcallDecl(name=FLUSH_ECALL, return_type="int", params=())
+            )
+
+    # -- step 2: generated implementations ----------------------------------
+
+    def extend_trusted(
+        self, trusted_impls: dict[str, Callable[..., Any]]
+    ) -> dict[str, Callable[..., Any]]:
+        """Add trusted bodies for the generated service ecalls."""
+        extended = dict(trusted_impls)
+        if self.plan.switchless:
+
+            def worker(ctx: Any) -> int:
+                return self.switchless.worker_body(ctx)
+
+            extended[WORKER_ECALL] = worker
+        if self.plan.batched:
+
+            def flush(ctx: Any) -> int:
+                return self.interface.flush_batches(ctx)
+
+            extended[FLUSH_ECALL] = flush
+        return extended
+
+    def extend_untrusted(
+        self,
+        definition: EnclaveDefinition,
+        untrusted_impls: dict[str, Callable[..., Any]],
+    ) -> dict[str, Callable[..., Any]]:
+        """Synthesise untrusted bodies for the generated ocalls.
+
+        The fused implementation runs the parent then the child and
+        returns the child's result (the parent's was predicted trusted
+        side); the batch implementation replays each buffered request
+        against the original implementation, in order.
+        """
+        extended = dict(untrusted_impls)
+        for pair in self.plan.fused:
+            parent_impl = untrusted_impls.get(pair.parent)
+            child_impl = untrusted_impls.get(pair.child)
+            if parent_impl is None or child_impl is None:
+                raise EdlError(
+                    f"plan fuses {pair.parent!r}+{pair.child!r} but an "
+                    "untrusted implementation is missing"
+                )
+            parent_arity = len(definition.ocall(pair.parent).params)
+
+            def fused(
+                uctx: Any,
+                *args: Any,
+                _parent: Callable = parent_impl,
+                _child: Callable = child_impl,
+                _n: int = parent_arity,
+            ) -> Any:
+                _parent(uctx, *args[:_n])
+                return _child(uctx, *args[_n:])
+
+            fused.__name__ = pair.name
+            extended[pair.name] = fused
+        for batch in self.plan.batched:
+            original = untrusted_impls.get(batch.call)
+            if original is None:
+                raise EdlError(
+                    f"plan batches {batch.call!r} but its untrusted "
+                    "implementation is missing"
+                )
+
+            def batched(
+                uctx: Any,
+                n: int,
+                reqs: tuple,
+                nbytes: int,
+                _original: Callable = original,
+            ) -> None:
+                for request_args in reqs:
+                    _original(uctx, *request_args)
+
+            batched.__name__ = batch.name
+            extended[batch.name] = batched
+        return extended
+
+    # -- step 3: bind the runtimes to the built enclave ----------------------
+
+    def bind(self, handle: Any) -> InterfaceRuntime:
+        """Install the runtime objects on a freshly built enclave handle."""
+        runtime = handle.urts.runtime(handle.enclave_id)
+        interface = InterfaceRuntime(self.plan, handle.definition, handle.urts)
+        self.interface = interface
+        runtime.interface = interface
+        if self.plan.switchless:
+            switchless = SwitchlessRuntime(
+                handle.urts,
+                handle.enclave_id,
+                frozenset(call.call for call in self.plan.switchless),
+            )
+            switchless.proxies = handle.proxies
+            handle.proxies._switchless = switchless
+            interface.switchless = switchless
+            self.switchless = switchless
+        handle.interface = interface
+        return interface

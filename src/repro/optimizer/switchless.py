@@ -1,0 +1,203 @@
+"""The switchless-call runtime: hot short ecalls without EENTER/EEXIT.
+
+An empty ecall costs ≈2 transition round trips of pure overhead; for an
+ecall whose trusted work is a microsecond or less the enclave entry
+dominates.  The SDK's answer (and sgx-perf's SISC recommendation) is a
+*switchless* scheme: a worker thread parks inside the enclave in one
+long-lived service ecall and polls a shared request queue.  Callers
+enqueue ``(name, args)`` untrusted-side, the worker dispatches through
+the trusted bridge locally — no transition — and wakes the caller over a
+futexed response slot.
+
+The worker spins briefly when idle (:data:`SPIN_BUDGET` iterations of
+``SPIN_ITERATION_NS``) and then sleeps on the SDK's *wait untrusted
+event* ocall, exactly like the in-enclave synchronisation of §2.3.2;
+callers wake it with the URTS's event object.  The sleeping flag is
+cleared by the first enqueuer, so one wake is issued per sleep and the
+URTS's credit semantics absorb the commit-to-sleep race.
+
+Calls fall back to the regular ecall path only when the scheduler cannot
+serve them: from the inline (schedulerless) context, or after the worker
+died.  The worker thread is *not* a daemon — destroying the enclave
+(:meth:`shutdown`) stops and joins it from inside the simulation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.sdk import constants as sdkc
+from repro.sdk.errors import SgxError, SgxStatus
+
+WORKER_ECALL = "ecall_switchless_worker"
+
+# Idle spin budget before the worker sleeps: 64 iterations ≈ 2.5 µs,
+# comfortably covering the caller-side gap between back-to-back calls.
+SPIN_BUDGET = 64
+
+
+class _Request:
+    """One switchless call in flight."""
+
+    __slots__ = ("name", "args", "key", "done", "result", "error")
+
+    def __init__(self, name: str, args: tuple, key: tuple) -> None:
+        self.name = name
+        self.args = args
+        self.key = key
+        self.done = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+
+
+class SwitchlessRuntime:
+    """Request queue + worker lifecycle for one enclave's switchless calls."""
+
+    def __init__(self, urts: Any, enclave_id: int, calls: frozenset) -> None:
+        self.urts = urts
+        self.enclave_id = enclave_id
+        self.calls = calls
+        self.queue: deque = deque()
+        self.proxies: Any = None  # bound by the rewriter
+        self._seq = 0
+        self.started = False
+        self.finished = False
+        self.dead = False
+        self.stop = False
+        self.worker_token: Any = None
+        self.worker_sleeping = False
+        self.stats = {"served": 0, "fallback": 0, "sleeps": 0}
+
+    # -- caller side -----------------------------------------------------------
+
+    def wants(self, name: str) -> bool:
+        """Whether this ecall is plan'd switchless."""
+        return name in self.calls
+
+    def submit(self, name: str, args: tuple) -> tuple[bool, Any]:
+        """Try to serve an ecall through the worker.
+
+        Returns ``(True, result)`` when served (raising whatever the
+        trusted implementation raised), or ``(False, None)`` when the
+        caller should take the regular ``sgx_ecall`` path.
+        """
+        sim = self.urts.sim
+        if sim.current_thread is None or self.dead:
+            self.stats["fallback"] += 1
+            return False, None
+        if not self.started:
+            self._start()
+        self._seq += 1
+        request = _Request(name, args, ("swl", self.enclave_id, self._seq))
+        sim.compute(sim.rng.jitter_ns("swl:enqueue", sdkc.SWITCHLESS_ENQUEUE_NS))
+        self.queue.append(request)
+        if self.worker_sleeping and self.worker_token is not None:
+            # First enqueuer claims the wake; the flag stays down until
+            # the worker is next committed to sleeping.
+            self.worker_sleeping = False
+            sim.compute(sim.rng.jitter_ns("swl:wake", sdkc.SWITCHLESS_WAKE_NS))
+            self.urts.set_untrusted_event(self.worker_token)
+        # No yield between the done check and the wait: the cooperative
+        # scheduler makes this loop race-free against the worker's
+        # done-then-wake ordering.
+        while not request.done:
+            sim.futex_wait(request.key)
+        if request.error is not None:
+            raise request.error
+        return True, request.result
+
+    def _start(self) -> None:
+        self.started = True
+        self.urts.sim.spawn(self._worker_main, name="switchless-worker")
+
+    def _worker_main(self) -> None:
+        try:
+            self.proxies.call(WORKER_ECALL, self.enclave_id)
+        except Exception as err:
+            self.dead = True
+            self._strand_queue(err)
+        finally:
+            self.dead = True
+            self.finished = True
+            self._strand_queue(None)
+            self.urts.sim.futex_wake(("swl-exit", self.enclave_id), count=2**31)
+
+    def _strand_queue(self, error: Optional[BaseException]) -> None:
+        """Fail every queued request so no caller waits forever."""
+        while self.queue:
+            request = self.queue.popleft()
+            request.error = error or SgxError(
+                SgxStatus.SGX_ERROR_ENCLAVE_LOST,
+                f"switchless worker gone before {request.name}",
+            )
+            request.done = True
+            self.urts.sim.futex_wake(request.key)
+
+    # -- worker side (runs inside the service ecall) -----------------------------
+
+    def worker_body(self, ctx: Any) -> int:
+        """The trusted implementation of the long-lived service ecall."""
+        from repro.sdk.edger8r import SYNC_OCALL_WAIT
+
+        runtime = ctx.runtime
+        interface = runtime.interface
+        self.worker_token = self.urts.current_thread_token()
+        spins = 0
+        while True:
+            if self.queue:
+                request = self.queue.popleft()
+                spins = 0
+                try:
+                    index = runtime.definition.ecall_index(request.name)
+                    request.result = runtime.bridge.invoke_local(
+                        ctx, index, request.args
+                    )
+                except Exception as err:
+                    request.error = err
+                if interface is not None:
+                    # A fused-pair parent deferred by this request must
+                    # flush now, mirroring the regular ecall-return hook.
+                    interface.on_ecall_return(ctx)
+                ctx.compute(
+                    ctx.sim.rng.jitter_ns("swl:result", sdkc.SWITCHLESS_RESULT_NS)
+                )
+                # done before wake, with no yield in between: a caller
+                # observing done never waits, a waiting caller gets woken.
+                request.done = True
+                ctx.sim.futex_wake(request.key)
+                self.stats["served"] += 1
+                continue
+            if self.stop:
+                break
+            if spins < SPIN_BUDGET:
+                spins += 1
+                ctx.compute(sdkc.SPIN_ITERATION_NS)
+                continue
+            spins = 0
+            self.worker_sleeping = True
+            self.stats["sleeps"] += 1
+            ctx.ocall(SYNC_OCALL_WAIT, self.worker_token)
+            self.worker_sleeping = False
+        return self.stats["served"]
+
+    # -- teardown ----------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Stop the worker and join it (must run inside the simulation).
+
+        From the inline context this degrades to best effort: the stop
+        flag is raised and the worker exits at its next loop turn once
+        the simulation runs again.
+        """
+        if not self.started or self.finished:
+            return
+        self.stop = True
+        sim = self.urts.sim
+        if self.worker_sleeping and self.worker_token is not None:
+            self.worker_sleeping = False
+            self.urts.set_untrusted_event(self.worker_token)
+        if sim.current_thread is None:
+            return
+        while not self.finished:
+            sim.futex_wait(("swl-exit", self.enclave_id))

@@ -16,6 +16,13 @@ from repro.perf.analysis.parents import (
     compute_indirect_parents,
     recompute_direct_parents,
 )
+from repro.perf.analysis.export import (
+    FINDINGS_SCHEMA,
+    finding_to_dict,
+    load_findings,
+    report_to_dict,
+    report_to_json,
+)
 from repro.perf.analysis.report import AnalysisReport, Analyzer
 from repro.perf.analysis.security import (
     allowlist_findings,
@@ -40,6 +47,7 @@ __all__ = [
     "Analyzer",
     "AnalyzerWeights",
     "CallStatistics",
+    "FINDINGS_SCHEMA",
     "Finding",
     "Histogram",
     "Problem",
@@ -56,12 +64,16 @@ __all__ = [
     "detect_ssc",
     "edge_counts",
     "execution_durations_ns",
+    "finding_to_dict",
     "fraction_shorter_than",
     "group_by_name",
     "histogram",
+    "load_findings",
     "observed_allow_sets",
     "private_ecall_candidates",
     "recompute_direct_parents",
+    "report_to_dict",
+    "report_to_json",
     "scatter_series",
     "to_dot",
     "user_check_findings",

@@ -16,6 +16,10 @@ Subcommands:
 * ``dot``     — emit the Figure 5-style call graph in Graphviz DOT;
 * ``salvage`` — recover a trace whose recording run crashed (close dangling
   calls, mark the trace salvaged);
+* ``optimize`` — build an interface-optimization plan (fused calls,
+  switchless calls, ocall batching) from a trace's findings; ``--apply``
+  prints the rewritten EDL, ``--rerun WORKLOAD`` replays the same seeded
+  load on the optimized interface and prints the before/after report;
 * ``sweep``   — fan a declarative grid of seeded campaign/netcampaign runs
   across a shared-nothing process pool and print the deterministically
   merged report (``--jobs N``, default cpu count / ``SGXPERF_JOBS``);
@@ -116,6 +120,11 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             ).run()
         else:
             report = Analyzer(db, definition=definition).run()
+        if args.json:
+            from repro.perf.analysis.export import report_to_json
+
+            print(report_to_json(report))
+            return 0
         print(report.render_text(max_stats_rows=args.rows))
         if args.availability:
             print()
@@ -226,7 +235,8 @@ def _sweep_spec(args: argparse.Namespace) -> dict:
         if not args.kind:
             raise SystemExit(
                 "sweep: pass a task kind "
-                "(campaign|clusternode|netcampaign|selftest|stressor) or --spec"
+                "(campaign|clusternode|netcampaign|optimizer|selftest|stressor) "
+                "or --spec"
             )
         spec = {"kind": args.kind, "seeds": args.seeds, "params": {}, "grid": {}}
         for item in args.params:
@@ -260,6 +270,77 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(report.render_report())
         print(f"wall-clock: {report.wall_seconds:.2f}s with jobs={report.jobs}")
     return 0 if report.failed == 0 and report.lost == 0 else 1
+
+
+def _optimize_definition(args: argparse.Namespace):
+    """The declared interface for plan building / rewriting, if known."""
+    if args.edl:
+        with open(args.edl) as f:
+            return parse_edl(f.read())
+    if args.workload == "sqlite":
+        from repro.workloads.minisql.enclavised import sqlite_definition
+
+        return sqlite_definition()
+    return None
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.optimizer import build_plan, run_rerun
+    from repro.optimizer.rerun import RERUN_WORKLOADS
+
+    if args.rerun:
+        if args.target not in RERUN_WORKLOADS:
+            print(
+                f"optimize --rerun takes a workload name "
+                f"({'|'.join(RERUN_WORKLOADS)}), got {args.target!r}",
+                file=sys.stderr,
+            )
+            return 2
+        report = run_rerun(
+            args.target, seed=args.seed, requests=args.requests, workdir=args.workdir
+        )
+        if args.plan_out:
+            with open(args.plan_out, "w") as f:
+                f.write(report.plan.to_json())
+            print(f"plan written to {args.plan_out}", file=sys.stderr)
+        print(report.to_json() if args.json else report.render_text())
+        if report.plan.transform_count() == 0:
+            print("optimize: the plan applied no transforms", file=sys.stderr)
+            return 1
+        if args.min_speedup and report.speedup < args.min_speedup:
+            print(
+                f"optimize: speedup {report.speedup:.2f}x below the "
+                f"--min-speedup {args.min_speedup:.2f}x gate",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+
+    definition = _optimize_definition(args)
+    with TraceDatabase(args.target) as db:
+        report = Analyzer(db, definition=definition).run()
+    plan = build_plan(report.findings, definition=definition, source=args.target)
+    if args.plan_out:
+        with open(args.plan_out, "w") as f:
+            f.write(plan.to_json())
+        print(f"plan written to {args.plan_out}", file=sys.stderr)
+    print(plan.to_json() if args.json else plan.render_text())
+    if args.apply:
+        if definition is None:
+            print(
+                "optimize --apply needs the declared interface: "
+                "pass --edl FILE or --workload sqlite",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.sdk.edl import format_edl
+
+        from repro.optimizer.rewrite import InterfaceRewriter
+
+        InterfaceRewriter(plan).rewrite_definition(definition)
+        print()
+        print(format_edl(definition))
+    return 0 if plan.transform_count() else 1
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
@@ -318,6 +399,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the streaming analyser even with jobs=1 and default chunks",
     )
     p_analyze.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable findings document "
+        "(sgxperf-findings/1; byte-identical from either analyser)",
+    )
+    p_analyze.add_argument(
         "--cluster",
         action="store_true",
         help="treat TRACE as a directory of per-shard cluster traces: merge "
@@ -368,7 +455,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument(
         "kind",
         nargs="?",
-        choices=["campaign", "clusternode", "netcampaign", "selftest", "stressor"],
+        choices=[
+            "campaign",
+            "clusternode",
+            "netcampaign",
+            "optimizer",
+            "selftest",
+            "stressor",
+        ],
         help="task kind (omit when using --spec)",
     )
     p_sweep.add_argument("--spec", help="JSON sweep spec file ('-' reads stdin)")
@@ -408,6 +502,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="print only the manifest digest (the CI determinism gate)",
     )
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_optimize = sub.add_parser(
+        "optimize",
+        help="build an interface-optimization plan from analyser findings "
+        "(fused calls, switchless calls, ocall batching)",
+    )
+    p_optimize.add_argument(
+        "target",
+        help="trace database to plan from, or a workload name with --rerun",
+    )
+    p_optimize.add_argument(
+        "--rerun",
+        action="store_true",
+        help="record a baseline of TARGET (a workload name), build the plan, "
+        "replay the same load on the optimized interface and print the "
+        "before/after report",
+    )
+    p_optimize.add_argument("--seed", type=int, default=0, help="simulation seed")
+    p_optimize.add_argument(
+        "--requests", type=int, default=400, help="requests per run (--rerun)"
+    )
+    p_optimize.add_argument(
+        "--edl", help="enclave EDL file (enables --apply and result-model checks)"
+    )
+    p_optimize.add_argument(
+        "--workload",
+        help="workload whose bundled interface definition to use (sqlite)",
+    )
+    p_optimize.add_argument(
+        "--apply",
+        action="store_true",
+        help="also print the rewritten EDL with the plan's declarations added",
+    )
+    p_optimize.add_argument("--plan-out", help="write the plan JSON to this path")
+    p_optimize.add_argument(
+        "--json", action="store_true", help="emit the plan/report as JSON"
+    )
+    p_optimize.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="exit non-zero unless the rerun speedup reaches this factor",
+    )
+    p_optimize.add_argument(
+        "--workdir", help="keep the baseline/optimized traces in this directory"
+    )
+    p_optimize.set_defaults(func=_cmd_optimize)
 
     p_cluster = sub.add_parser(
         "cluster",

@@ -28,5 +28,17 @@ FREE_NS = 120
 # In-enclave spin iteration (for the hybrid mutex of §3.4).
 SPIN_ITERATION_NS = 40
 
+# Switchless-call runtime (repro.optimizer): shared-queue costs replacing
+# the EENTER/EEXIT pair for converted hot ecalls.
+SWITCHLESS_ENQUEUE_NS = 120  # caller: stage request into the shared queue
+SWITCHLESS_WAKE_NS = 250  # caller: kick a sleeping worker's event
+SWITCHLESS_RESULT_NS = 90  # caller: read the completed result back
+SWITCHLESS_DISPATCH_NS = 150  # worker: pop + local dispatch (no trampoline)
+
+# Interface-runtime fusion/batching bookkeeping (all in-enclave).
+FUSE_DEFER_NS = 70  # stash a deferred parent call's arguments
+FUSE_STAGE_NS = 110  # assemble the combined parameter frame
+BATCH_APPEND_NS = 90  # append one request to an ocall batch buffer
+
 # SGX v2 EDMM: in-enclave EACCEPT of one EAUGed page.
 EACCEPT_NS = 1_100

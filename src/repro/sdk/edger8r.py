@@ -135,6 +135,9 @@ class UntrustedProxies:
         self._definition = definition
         self._loader = process_loader
         self._ocall_table = ocall_table
+        # Switchless runtime (repro.optimizer): consulted per call when
+        # set.  ``None`` keeps the proxy path byte-identical.
+        self._switchless: Any = None
 
     @property
     def ocall_table(self) -> OcallTable:
@@ -143,6 +146,11 @@ class UntrustedProxies:
 
     def call(self, name: str, enclave_id: int, *args: Any) -> Any:
         """Invoke ecall ``name``; raises :class:`SgxError` on failure."""
+        switchless = self._switchless
+        if switchless is not None and switchless.wants(name):
+            handled, result = switchless.submit(name, args)
+            if handled:
+                return result
         index = self._definition.ecall_index(name)
         sgx_ecall = self._loader.resolve("sgx_ecall")
         status, result = sgx_ecall(enclave_id, index, self._ocall_table, args)
@@ -222,6 +230,8 @@ class EnclaveHandle:
     proxies: UntrustedProxies
     ocall_table: OcallTable
     uctx: UntrustedContext
+    # Interface runtime (repro.optimizer) when built with a plan.
+    interface: Any = None
 
     def ecall(self, name: str, *args: Any) -> Any:
         """Call an ecall by name on this enclave."""
@@ -237,7 +247,11 @@ class EnclaveHandle:
         return self.urts.runtime(self.enclave_id).enclave
 
     def destroy(self) -> None:
-        """Destroy the enclave."""
+        """Destroy the enclave (draining any installed interface runtime)."""
+        if self.interface is not None:
+            # Stop the switchless worker and flush residual ocall batches
+            # while the enclave can still be entered.
+            self.interface.before_destroy(self)
         self.urts.destroy_enclave(self.enclave_id)
 
 
@@ -249,21 +263,36 @@ def build_enclave(
     config: Optional[EnclaveConfig] = None,
     include_sync_ocalls: bool = True,
     code_identity: bytes = b"",
+    interface_plan: Any = None,
 ) -> EnclaveHandle:
     """One-stop enclave build: parse/validate EDL, generate glue, create.
 
     ``definition`` may be EDL source text or an already-built definition.
+    With ``interface_plan`` (an :class:`repro.optimizer.OptimizationPlan`)
+    the interface is regenerated before creation — fused/batched ocall
+    declarations and service ecalls appended, their implementations
+    synthesised — and the optimizer runtimes are bound to the handle.
+    Generated declarations append after the SDK sync ocalls, so every
+    identifier of the unoptimized interface is preserved.
     """
     if isinstance(definition, str):
         definition = parse_edl(definition)
     if include_sync_ocalls:
         add_sdk_sync_ocalls(definition)
+    rewriter = None
+    if interface_plan is not None and not interface_plan.empty:
+        from repro.optimizer.rewrite import InterfaceRewriter
+
+        rewriter = InterfaceRewriter(interface_plan)
+        rewriter.rewrite_definition(definition)
+        trusted_impls = rewriter.extend_trusted(trusted_impls)
+        untrusted_impls = rewriter.extend_untrusted(definition, untrusted_impls or {})
     enclave_id = urts.create_enclave(
         definition, trusted_impls, config=config, code_identity=code_identity
     )
     proxies, table, uctx = generate_untrusted(urts, definition, untrusted_impls or {})
     uctx.enclave_id = enclave_id
-    return EnclaveHandle(
+    handle = EnclaveHandle(
         enclave_id=enclave_id,
         urts=urts,
         definition=definition,
@@ -271,3 +300,6 @@ def build_enclave(
         ocall_table=table,
         uctx=uctx,
     )
+    if rewriter is not None:
+        rewriter.bind(handle)
+    return handle

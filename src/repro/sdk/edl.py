@@ -211,6 +211,57 @@ class EnclaveDefinition:
         return found
 
 
+def _prefix_params(params: Iterable[Param], prefix: str) -> tuple[Param, ...]:
+    """Rename parameters with ``prefix``, fixing up symbolic size/count refs.
+
+    ``size=len`` style qualifiers name sibling parameters; when the
+    parameters are renamed for a merged declaration the references must
+    follow, or copy-cost accounting would silently fall back to
+    word-size.
+    """
+    renamed = []
+    for param in params:
+        size = param.size
+        if isinstance(size, str):
+            size = prefix + size
+        count = param.count
+        if isinstance(count, str):
+            count = prefix + count
+        renamed.append(
+            Param(
+                name=prefix + param.name,
+                ctype=param.ctype,
+                direction=param.direction,
+                size=size,
+                count=count,
+                is_string=param.is_string,
+            )
+        )
+    return tuple(renamed)
+
+
+def fuse_ocall_decls(
+    parent: OcallDecl, child: OcallDecl, name: Optional[str] = None
+) -> OcallDecl:
+    """Merge an SDSC ocall pair into one declaration (paper §5.2.2).
+
+    The fused call carries both parameter lists (prefixed ``p_``/``c_`` so
+    names cannot collide and ``size=`` references stay resolvable), keeps
+    the child's return type — the parent's result is predicted on the
+    trusted side — and unions the two allow lists.
+    """
+    fused_name = name or f"{parent.name}__{child.name}"
+    allowed = tuple(
+        dict.fromkeys(tuple(parent.allowed_ecalls) + tuple(child.allowed_ecalls))
+    )
+    return OcallDecl(
+        name=fused_name,
+        return_type=child.return_type,
+        params=_prefix_params(parent.params, "p_") + _prefix_params(child.params, "c_"),
+        allowed_ecalls=allowed,
+    )
+
+
 # --------------------------------------------------------------------------
 # Parser
 # --------------------------------------------------------------------------

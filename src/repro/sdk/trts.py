@@ -164,6 +164,21 @@ class TrustedContext:
     def ocall(self, name: str, *args: Any) -> Any:
         """Issue an ocall by name: the TRTS ``sgx_ocall`` path.
 
+        When an interface runtime (:mod:`repro.optimizer`) is installed on
+        the enclave, it gets first refusal — it may defer the call into a
+        fused pair, buffer it into a batch, or pass.  Without one, this is
+        exactly :meth:`ocall_raw`, at zero extra cost.
+        """
+        interface = getattr(self.runtime, "interface", None)
+        if interface is not None:
+            handled, result = interface.intercept_ocall(self, name, args)
+            if handled:
+                return result
+        return self.ocall_raw(name, *args)
+
+    def ocall_raw(self, name: str, *args: Any) -> Any:
+        """The uninterposed ocall path.
+
         Marshals ``[in]`` parameters out, EEXITs, lets the URTS look the
         function pointer up in the *saved* ocall table, runs it, re-enters
         and marshals ``[out]`` parameters back.
@@ -242,6 +257,28 @@ class TrustedBridge:
             raise SgxError(SgxStatus.SGX_ERROR_INVALID_FUNCTION, f"ecall index {index}")
         decl = definition.ecalls[index]
         ctx.compute(ctx.sim.rng.jitter_ns("trts:dispatch", sdkc.TRTS_ECALL_DISPATCH_NS))
+        self._touch_code_page(ctx, index)
+        ctx._charge_copies(decl, args, Direction.IN)
+        result = self._impls[index](ctx, *args)
+        ctx._charge_copies(decl, args, Direction.OUT)
+        return result
+
+    def invoke_local(self, ctx: TrustedContext, index: int, args: tuple) -> Any:
+        """Run ecall ``index`` *inside an already-open enclave context*.
+
+        The switchless worker's dispatch path: the worker thread is
+        already in the enclave, so there is no EENTER/EEXIT and no entry
+        trampoline — just a queue-pop dispatch, the code-page touch and
+        the declared parameter copies (data still crosses the boundary
+        through the shared request area).
+        """
+        definition = self.definition
+        if not 0 <= index < len(definition.ecalls):
+            raise SgxError(SgxStatus.SGX_ERROR_INVALID_FUNCTION, f"ecall index {index}")
+        decl = definition.ecalls[index]
+        ctx.compute(
+            ctx.sim.rng.jitter_ns("trts:switchless-dispatch", sdkc.SWITCHLESS_DISPATCH_NS)
+        )
         self._touch_code_page(ctx, index)
         ctx._charge_copies(decl, args, Direction.IN)
         result = self._impls[index](ctx, *args)

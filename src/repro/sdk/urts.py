@@ -45,6 +45,10 @@ class EnclaveRuntime:
         # the mechanism that lets a preloaded logger substitute its own
         # stub table (paper §4.1.2).
         self.saved_ocall_table: Any = None
+        # Interface runtime (repro.optimizer): consulted on every ocall and
+        # at every ecall return when set.  ``None`` keeps both paths
+        # byte-identical to the unoptimized runtime.
+        self.interface: Any = None
         self._sync_objects: dict[tuple[str, str], Any] = {}
 
     @property
@@ -283,6 +287,12 @@ class Urts:
         ctx = TrustedContext(self, runtime, execution, state)
         try:
             result = runtime.bridge.dispatch(ctx, index, args)
+            interface = runtime.interface
+            if interface is not None:
+                # A deferred fused-pair parent must not outlive its ecall:
+                # flush it while the enclave context is still open, so the
+                # observable ocall order is preserved across the boundary.
+                interface.on_ecall_return(ctx)
         finally:
             state.frames.pop()
             execution.eexit()

@@ -15,6 +15,9 @@ Task kinds:
 * ``stressor``    — one :func:`repro.workloads.stressors.run_stressor` run
   (the EPC-pressure scenario matrix: ``--axis stressor=... --axis
   intensity=...``);
+* ``optimizer``   — one :func:`repro.optimizer.run_rerun` analyze→optimize→
+  rerun A/B cell; the task digest is the optimized trace's digest (the CI
+  determinism gate compares it across ``--jobs`` values);
 * ``selftest``    — a tiny pure-scheduler simulation (used by the engine's
   own tests and crash drills; costs milliseconds).
 
@@ -207,6 +210,45 @@ def _run_stressor_task(params: dict, db_path: str) -> tuple[str, dict, dict]:
     return run_stressor_task(params, db_path)
 
 
+def _run_optimizer_task(params: dict, db_path: str) -> tuple[str, dict, dict]:
+    """One analyze→optimize→rerun A/B cell (the §5.2.2 loop, automated).
+
+    The task digest is the *optimized* trace's digest — the CI determinism
+    gate compares it across ``--jobs`` values.  With a ``trace_dir`` the
+    baseline and optimized traces are kept next to the task's ``db_path``.
+    """
+    import shutil
+    import tempfile
+
+    from repro.optimizer import run_rerun
+
+    if db_path == ":memory:":
+        workdir = tempfile.mkdtemp(prefix="sgxperf-optimize-")
+    else:
+        workdir = db_path[: -len(".db")] if db_path.endswith(".db") else db_path
+        os.makedirs(workdir, exist_ok=True)
+    report = run_rerun(
+        str(params.get("workload", "sqlite")),
+        seed=int(params.get("seed", 0)),
+        requests=int(params.get("requests", 200)),
+        workdir=workdir,
+    )
+    if db_path == ":memory:":
+        shutil.rmtree(workdir, ignore_errors=True)
+    metrics = {
+        "speedup_x1000": int(report.speedup * 1000),
+        "transition_cut_x1000": int(report.transition_reduction * 1000),
+        "baseline_transitions": report.baseline.transitions,
+        "optimized_transitions": report.optimized.transitions,
+        "fused": len(report.plan.fused),
+        "switchless": len(report.plan.switchless),
+        "batched": len(report.plan.batched),
+        "fixed_findings": len(report.fixed_findings),
+        "remaining_findings": len(report.remaining_findings),
+    }
+    return report.optimized.digest, metrics, {}
+
+
 def _run_selftest_task(params: dict, db_path: str) -> tuple[str, dict, dict]:
     """A tiny deterministic scheduler workload — the engine's own drill."""
     from repro.sim.kernel import Simulation
@@ -230,6 +272,7 @@ _RUNNERS = {
     "campaign": _run_campaign_task,
     "clusternode": _run_clusternode_task,
     "netcampaign": _run_netcampaign_task,
+    "optimizer": _run_optimizer_task,
     "selftest": _run_selftest_task,
     "stressor": _run_stressor_task,
 }

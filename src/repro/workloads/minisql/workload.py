@@ -80,6 +80,35 @@ def _insert_sql(sha: str, author: str, message: str, index: int) -> str:
     )
 
 
+def run_prepared_inserts(
+    app: EnclavedSqlApp,
+    requests: int,
+    seed: int = 0,
+    latencies: Optional[list] = None,
+) -> int:
+    """Replay the commit stream through the prepared-statement interface.
+
+    One prepare, then bind×4 + step + reset per commit — the same rows as
+    the SQL-text path, minus the per-statement parse.  The bind/reset
+    ecalls are short and hot, which is what makes this load the
+    switchless optimizer's demonstration workload.  With ``latencies``
+    given, appends each commit's end-to-end virtual-time latency.
+    """
+    sim = app.sim
+    app.prepare_insert("commits")
+    for index, (sha, author, message) in enumerate(commit_stream(requests, seed)):
+        start = sim.now_ns
+        app.bind_text(0, sha)
+        app.bind_text(1, author)
+        app.bind_text(2, message)
+        app.bind_int(3, index % 23)
+        app.step()
+        app.reset()
+        if latencies is not None:
+            latencies.append(sim.now_ns - start)
+    return requests
+
+
 @dataclass
 class SqlBenchResult:
     """Outcome of one §5.2.2 run."""

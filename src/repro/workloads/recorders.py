@@ -52,28 +52,56 @@ def record_talos(
 
 
 def record_sqlite(
-    db_path: str, seed: int = 0, requests: int = 400, attach: AttachHook = None
+    db_path: str,
+    seed: int = 0,
+    requests: int = 400,
+    attach: AttachHook = None,
+    *,
+    prepared: bool = False,
+    plan=None,
+    spawn: bool = False,
+    latencies: Optional[list] = None,
 ) -> None:
-    """Enclavised minisql replaying git commits (paper §5.2.2)."""
+    """Enclavised minisql replaying git commits (paper §5.2.2).
+
+    ``prepared`` switches the load to the prepared-statement interface
+    (bind/step per commit instead of SQL text); ``plan`` builds the
+    enclave with an :class:`repro.optimizer.OptimizationPlan` applied.
+    A plan forces the load onto a spawned thread — the switchless worker
+    needs the scheduler — as does ``spawn`` or an attached observer.
+    ``latencies`` collects per-commit virtual-time latencies (prepared
+    mode only).
+    """
     from repro.workloads.minisql import SQLITE_SYSCALL_COSTS, SqlBuild
     from repro.workloads.minisql.enclavised import EnclavedSqlApp
-    from repro.workloads.minisql.workload import CREATE_SQL, _insert_sql, commit_stream
+    from repro.workloads.minisql.workload import (
+        CREATE_SQL,
+        _insert_sql,
+        commit_stream,
+        run_prepared_inserts,
+    )
 
     process = SimProcess(seed=seed, syscall_costs=SQLITE_SYSCALL_COSTS)
     device = SgxDevice(process.sim)
-    app = EnclavedSqlApp(process, device, SqlBuild.ENCLAVE)
+    app = EnclavedSqlApp(process, device, SqlBuild.ENCLAVE, plan=plan)
     with EventLogger(process, app.urts, database=db_path, aex_mode=AexMode.COUNT) as logger:
         def load() -> None:
             app.open("trace.db")
             app.execute(CREATE_SQL)
-            for index, (sha, author, message) in enumerate(commit_stream(requests, seed)):
-                app.execute(_insert_sql(sha, author, message, index))
+            if prepared:
+                run_prepared_inserts(app, requests, seed, latencies=latencies)
+            else:
+                for index, (sha, author, message) in enumerate(
+                    commit_stream(requests, seed)
+                ):
+                    app.execute(_insert_sql(sha, author, message, index))
             app.close()
 
-        if attach is None:
+        if attach is not None:
+            attach(logger)
+        if attach is None and plan is None and not spawn:
             load()
         else:
-            attach(logger)
             _run_observed(process, load)
 
 
@@ -100,14 +128,24 @@ def record_glamdring(
 
 
 def record_securekeeper(
-    db_path: str, seed: int = 0, operations: int = 40, attach: AttachHook = None
+    db_path: str,
+    seed: int = 0,
+    operations: int = 40,
+    attach: AttachHook = None,
+    *,
+    plan=None,
 ) -> None:
-    """SecureKeeper under full load (paper §5.2.4)."""
+    """SecureKeeper under full load (paper §5.2.4).
+
+    With ``plan`` the proxy enclave is built with the optimizer's
+    interface rewrite applied, and the proxy is closed inside the logger
+    so the teardown flush of any batched ocalls lands in the trace.
+    """
     from repro.workloads.securekeeper import SecureKeeperProxy, run_securekeeper_load
 
     process = SimProcess(seed=seed)
     device = SgxDevice(process.sim)
-    proxy = SecureKeeperProxy(process, device, tcs_count=16)
+    proxy = SecureKeeperProxy(process, device, tcs_count=16, plan=plan)
     with EventLogger(process, proxy.urts, database=db_path, aex_mode=AexMode.COUNT) as logger:
         if attach is not None:
             attach(logger)
@@ -118,6 +156,8 @@ def record_securekeeper(
             device=device,
             proxy=proxy,
         )
+        if plan is not None:
+            proxy.close()
 
 
 REGISTRY: dict[str, Callable[[str, int], None]] = {

@@ -236,12 +236,14 @@ class SecureKeeperProxy:
         device: SgxDevice,
         master_key: bytes = b"securekeeper-master-key-000000/0",
         tcs_count: int = 16,
+        plan=None,
     ) -> None:
         self.process = process
         self.sim = process.sim
         self.urts = Urts(process, device)
         self.trusted = SecureKeeperEnclave(master_key)
         self._tcs_count = tcs_count
+        self._plan = plan
         self._resilient = None
         self.handle: EnclaveHandle = self._build_handle()
 
@@ -257,6 +259,7 @@ class SecureKeeperProxy:
                 "ocall_print": self._ocall_print,
                 "ocall_get_time": self._ocall_get_time,
             },
+            interface_plan=self._plan,
             config=EnclaveConfig(
                 name="securekeeper",
                 code_bytes=420 * 1024,

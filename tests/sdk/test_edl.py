@@ -158,6 +158,87 @@ class TestRoundTrip:
         assert format_edl(first) == format_edl(second)
 
 
+class TestFusedDecls:
+    """The optimizer's generated declarations survive EDL round trips."""
+
+    SOURCE = """
+    enclave {
+        trusted { public int ecall_io(void); };
+        untrusted {
+            long ocall_lseek(int fd, long offset);
+            int ocall_write(int fd, [in, size=len] uint8_t* buf, size_t len);
+        };
+    };
+    """
+
+    def test_fuse_merges_params_with_prefixes(self):
+        from repro.sdk.edl import fuse_ocall_decls
+
+        definition = parse_edl(self.SOURCE)
+        fused = fuse_ocall_decls(
+            definition.ocall("ocall_lseek"),
+            definition.ocall("ocall_write"),
+            "ocall_lseek__ocall_write",
+        )
+        names = [p.name for p in fused.params]
+        assert names == ["p_fd", "p_offset", "c_fd", "c_buf", "c_len"]
+        # The child's size reference is rewritten to the prefixed name.
+        by_name = {p.name: p for p in fused.params}
+        assert by_name["c_buf"].size == "c_len"
+        assert by_name["c_buf"].direction is Direction.IN
+
+    def test_fused_decl_round_trips_through_format(self):
+        from repro.sdk.edl import fuse_ocall_decls
+
+        definition = parse_edl(self.SOURCE)
+        definition.add_ocall(
+            fuse_ocall_decls(
+                definition.ocall("ocall_lseek"),
+                definition.ocall("ocall_write"),
+                "ocall_lseek__ocall_write",
+            )
+        )
+        reparsed = parse_edl(format_edl(definition))
+        assert reparsed.has_ocall("ocall_lseek__ocall_write")
+        assert format_edl(reparsed) == format_edl(definition)
+
+    def test_appended_decls_keep_existing_indices(self):
+        """Mutating a parsed definition must never renumber dispatch ids."""
+        from repro.sdk.edger8r import SYNC_OCALL_NAMES, add_sdk_sync_ocalls
+        from repro.sdk.edl import fuse_ocall_decls
+
+        definition = parse_edl(self.SOURCE)
+        add_sdk_sync_ocalls(definition)
+        before_ecalls = {e.name: definition.ecall_index(e.name) for e in definition.ecalls}
+        before_ocalls = {o.name: definition.ocall_index(o.name) for o in definition.ocalls}
+        assert set(SYNC_OCALL_NAMES) <= set(before_ocalls)
+
+        definition.add_ocall(
+            fuse_ocall_decls(
+                definition.ocall("ocall_lseek"),
+                definition.ocall("ocall_write"),
+                "ocall_lseek__ocall_write",
+            )
+        )
+        definition.add_ecall(EcallDecl(name="ecall_switchless_worker"))
+        for name, index in before_ecalls.items():
+            assert definition.ecall_index(name) == index
+        for name, index in before_ocalls.items():
+            assert definition.ocall_index(name) == index
+        # Generated decls are appended strictly after the originals.
+        assert definition.ocall_index("ocall_lseek__ocall_write") == len(before_ocalls)
+        assert definition.ecall_index("ecall_switchless_worker") == len(before_ecalls)
+
+    def test_sync_ocalls_idempotent(self):
+        from repro.sdk.edger8r import add_sdk_sync_ocalls
+
+        definition = parse_edl(self.SOURCE)
+        add_sdk_sync_ocalls(definition)
+        count = len(definition.ocalls)
+        add_sdk_sync_ocalls(definition)
+        assert len(definition.ocalls) == count
+
+
 class TestDefinitionModel:
     def test_indices_follow_declaration_order(self):
         definition = EnclaveDefinition()
